@@ -1,0 +1,175 @@
+// Ablations on the Section 2 design choices.
+//
+// (A) CONTRACTION: the paper contracts the clustering between rounds and
+//     pays a 2^{log* n} distortion factor for it; the payoff is linear size.
+//     Ablation: run the exact same sequence of Expand calls WITHOUT
+//     contracting between rounds (the Baswana–Sen regime) and compare size
+//     and distortion.
+// (B) THEOREM-2 TAIL: the schedule truncates the tower phasing at density
+//     log^eps n log log^eps n and finishes with two (log n)^{-eps} rounds.
+//     Ablation: run the pure tower schedule to the end. Compare Expand-call
+//     counts and distortion bounds (the tail exists to keep message lengths
+//     at log^eps n while adding only O(log n) rounds).
+// (C) ABORT RULE: Theorem 2 aborts a dying vertex's list convergecast when
+//     q > 4 s_i ln n adjacent clusters appear, keeping all its edges
+//     instead. Ablation: shrink the abort threshold and measure the size
+//     inflation it causes vs the rounds it saves.
+
+#include <iostream>
+
+#include "common.h"
+#include "core/cluster_protocol.h"
+#include "core/expand.h"
+#include "core/skeleton.h"
+#include "util/saturating.h"
+
+namespace ultra {
+namespace {
+
+// Run the schedule's Expand calls with no contraction between rounds.
+std::pair<std::uint64_t, spanner::Spanner> run_without_contraction(
+    const graph::Graph& g, const core::SkeletonSchedule& schedule,
+    std::uint64_t seed) {
+  spanner::Spanner s(g);
+  core::ClusterState state = core::ClusterState::trivial(g);
+  util::Rng rng(seed);
+  std::uint64_t calls = 0;
+  for (const auto& round : schedule.rounds) {
+    for (const double p : round.probs) {
+      core::expand(state, p, rng, [&](graph::VertexId a, graph::VertexId b) {
+        s.add_edge(a, b);
+      });
+      ++calls;
+    }
+  }
+  return {calls, std::move(s)};
+}
+
+}  // namespace
+}  // namespace ultra
+
+int main() {
+  using namespace ultra;
+  bench::print_header("Ablations / Section 2 design choices",
+                      "(A) contraction, (B) Theorem-2 tail, (C) abort rule.");
+
+  {
+    std::cout << "--- (A) contraction vs none (same Expand schedule) ---\n";
+    util::Table t({"n", "m", "|S| with contraction", "|S| without",
+                   "max stretch with", "max stretch without"});
+    for (const std::uint32_t n : {2000u, 8000u, 32000u}) {
+      const auto g = bench::er_workload(n, 8ull * n, n + 3);
+      const core::SkeletonParams params{.D = 4, .eps = 1.0, .seed = 11};
+      const auto with = core::build_skeleton(g, params);
+      auto [calls, without] =
+          run_without_contraction(g, with.stats.schedule, 11);
+      (void)calls;
+      util::Rng rng(n);
+      const auto rep_with =
+          spanner::evaluate_sampled(g, with.spanner, 8, rng);
+      const auto rep_without = spanner::evaluate_sampled(g, without, 8, rng);
+      t.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(g.num_edges())
+          .cell(with.stats.spanner_size)
+          .cell(static_cast<std::uint64_t>(without.size()))
+          .cell(rep_with.max_mult, 2)
+          .cell(rep_without.max_mult, 2);
+    }
+    t.print(std::cout);
+    std::cout << "Reading: without contraction the same schedule keeps far\n"
+                 "more edges (each round restarts from radius-0 clusters on\n"
+                 "the contracted graph; without it, expansion stalls), while\n"
+                 "distortion improves only modestly — the paper's tradeoff.\n";
+  }
+
+  {
+    std::cout << "\n--- (B) Theorem-2 tail vs pure tower schedule ---\n";
+    util::Table t({"n", "calls (Thm 2)", "calls (pure tower)",
+                   "distortion bound (Thm 2)", "bound (pure tower)",
+                   "cap words (Thm 2)", "cap needed (pure tower)"});
+    for (std::uint64_t lg = 12; lg <= 36; lg += 8) {
+      const std::uint64_t n = std::uint64_t{1} << lg;
+      const auto thm2 = core::plan_schedule(n, {.D = 4, .eps = 1.0});
+      // Pure tower: rounds of s_i + 1 calls at p = 1/s_i until the density
+      // covers n, then the kill call. Distortion via the same radius
+      // recurrences (replicated here from the schedule internals).
+      double density = 1.0;
+      std::uint64_t calls = 1;  // round 1
+      density *= 4.0;
+      std::uint64_t radius = 0, worst = 0, max_s = 4;
+      auto close = [&](std::uint64_t round_calls, std::uint64_t ) {
+        const std::uint64_t r2 = util::sat_add(util::sat_mul(2, radius), 1);
+        worst = std::max(
+            worst,
+            util::sat_mul(util::sat_add(util::sat_mul(2, round_calls - 1), 2),
+                          r2) -
+                1);
+        radius = util::sat_add(util::sat_mul(round_calls, r2), radius);
+      };
+      close(1, 4);
+      for (unsigned i = 1; density < static_cast<double>(n); ++i) {
+        const std::uint64_t s = core::tower_s(4, i);
+        max_s = std::max(max_s, std::min<std::uint64_t>(s, n));
+        std::uint64_t round_calls = 0;
+        for (std::uint64_t j = 0;
+             j < util::sat_add(s, 1) && density < static_cast<double>(n);
+             ++j) {
+          density *= static_cast<double>(s);
+          ++round_calls;
+          ++calls;
+        }
+        close(round_calls, s);
+      }
+      ++calls;  // kill call
+      t.row()
+          .cell(std::string("2^") + std::to_string(lg))
+          .cell(thm2.total_expand_calls)
+          .cell(calls)
+          .cell(thm2.distortion_bound)
+          .cell(worst)
+          .cell(thm2.message_cap_words, 1)
+          // A dying vertex may see ~s_i ln n adjacent clusters; the pure
+          // tower's last phase has s ~ log n / log log n, needing messages
+          // ~ s ln n words without the tail's density cap.
+          .cell(static_cast<double>(max_s) *
+                    std::log2(static_cast<double>(n)),
+                0);
+    }
+    t.print(std::cout);
+    std::cout << "Reading: the pure tower uses slightly fewer calls but its\n"
+                 "final phases need much longer messages; the Theorem-2 tail\n"
+                 "holds the cap at log^eps n for a few extra calls.\n";
+  }
+
+  {
+    std::cout << "\n--- (C) abort-rule threshold (distributed, n = 4000) "
+                 "---\n";
+    const auto g = bench::er_workload(4000, 24000, 77);
+    const auto schedule = core::plan_schedule(4000, {.D = 4, .eps = 1.0});
+    util::Table t({"abort factor", "aborts", "|S|", "rounds",
+                   "max msg words"});
+    for (const double factor : {4.0, 1.0, 0.25, 0.05}) {
+      spanner::Spanner s(g);
+      sim::Network net(g, 12);
+      core::ClusterProtocol protocol(g, schedule, 5, &s, factor);
+      const auto metrics = net.run(protocol, 1u << 22);
+      t.row()
+          .cell(factor, 2)
+          .cell(protocol.stats().aborts)
+          .cell(static_cast<std::uint64_t>(s.size()))
+          .cell(metrics.rounds)
+          .cell(metrics.max_message_words);
+    }
+    t.print(std::cout);
+    std::cout << "Reading: at the paper's 4 s_i ln n threshold the rule never\n"
+                 "fires (aborts are n^{-4}-rare by design); forcing it with a\n"
+                 "tiny threshold fires on dying groups whose working vertices\n"
+                 "are near-singletons, where 'keep all incident edges'\n"
+                 "coincides with the normal one-edge-per-cluster outcome —\n"
+                 "the rule is a safety valve whose cost only appears on\n"
+                 "contracted groups with many distinct neighbors, which the\n"
+                 "density threshold keeps rare.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the benchmark harnesses. Each bench regenerates one of
+// the paper's tables/figures (see DESIGN.md's per-experiment index) as an
+// aligned text table on stdout; EXPERIMENTS.md records representative output
+// next to the paper's claim.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "spanner/evaluate.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace ultra::bench {
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+// Connected Erdős–Rényi workload (the default random graph in every bench).
+inline graph::Graph er_workload(graph::VertexId n, std::uint64_t m,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::connected_gnm(n, m, rng);
+}
+
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ultra::bench

@@ -1,0 +1,216 @@
+// Extensions bench (paper Sections 1.4 and 5 related work): streaming
+// spanners, fully dynamic maintenance under churn, the weighted
+// Baswana–Sen, and the stretch-3 distance oracle. Each block reports the
+// published envelope next to the measurement.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "apps/compact_routing.h"
+#include "apps/distance_oracle.h"
+#include "baselines/baswana_sen_weighted.h"
+#include "baselines/dynamic_spanner.h"
+#include "baselines/greedy.h"
+#include "baselines/streaming.h"
+#include "common.h"
+#include "graph/bfs.h"
+#include "graph/weighted.h"
+
+int main() {
+  using namespace ultra;
+  bench::print_header(
+      "Extensions / Sections 1.4 + 5",
+      "Streaming, fully dynamic, weighted Baswana-Sen, distance oracle.");
+
+  {
+    std::cout << "--- streaming (2k-1)-spanner: adversarial arrival orders "
+                 "(n = 4000, m = 48000, k = 3) ---\n";
+    const auto g = bench::er_workload(4000, 48000, 5);
+    util::Table t({"arrival order", "kept", "kept/n", "vs static greedy"});
+    const auto greedy = baselines::greedy_spanner(g, 3);
+    auto run_order = [&](const char* label,
+                         std::vector<graph::Edge> order) {
+      baselines::StreamingSpanner stream(g.num_vertices(), 3);
+      for (const auto& e : order) stream.offer(e.u, e.v);
+      t.row()
+          .cell(label)
+          .cell(stream.edges_kept())
+          .cell(static_cast<double>(stream.edges_kept()) / g.num_vertices(),
+                3)
+          .cell(static_cast<double>(stream.edges_kept()) /
+                    static_cast<double>(greedy.size()),
+                3);
+    };
+    std::vector<graph::Edge> order(g.edges().begin(), g.edges().end());
+    run_order("sorted (== greedy)", order);
+    util::Rng rng(9);
+    rng.shuffle(order);
+    run_order("random", order);
+    std::reverse(order.begin(), order.end());
+    run_order("reverse of random", order);
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n--- dynamic maintenance under churn (n = 1000, k = 2) "
+                 "---\n";
+    util::Rng rng(11);
+    const graph::VertexId n = 1000;
+    baselines::DynamicSpanner dyn(n, 2);
+    util::Table t({"operations", "graph edges", "spanner edges",
+                   "promotions so far", "spanner/static-greedy"});
+    std::vector<graph::Edge> present;
+    std::uint64_t promotions = 0;
+    bench::WallClock timer;
+    for (int step = 1; step <= 30000; ++step) {
+      const bool do_insert = present.size() < 4000 &&
+                             (present.empty() || rng.bernoulli(0.55));
+      if (do_insert) {
+        const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+        const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+        if (u == v || dyn.has_edge(u, v)) continue;
+        dyn.insert(u, v);
+        present.push_back(graph::make_edge(u, v));
+      } else {
+        const std::size_t i = rng.next_below(present.size());
+        promotions += dyn.erase(present[i].u, present[i].v);
+        present[i] = present.back();
+        present.pop_back();
+      }
+      if (step % 10000 == 0) {
+        const auto snap = dyn.graph_snapshot();
+        const auto greedy = baselines::greedy_spanner(snap, 2);
+        t.row()
+            .cell(step)
+            .cell(dyn.graph_size())
+            .cell(dyn.spanner_size())
+            .cell(promotions)
+            .cell(static_cast<double>(dyn.spanner_size()) /
+                      static_cast<double>(greedy.size()),
+                  3);
+      }
+    }
+    t.print(std::cout);
+    std::cout << "(30k operations in " << util::format_double(timer.seconds(), 2)
+              << "s; the maintained spanner tracks the from-scratch greedy "
+                 "within the shown factor.)\n";
+  }
+
+  {
+    std::cout << "\n--- weighted Baswana-Sen: size and worst per-edge "
+                 "stretch vs k (n = 2000, m = 20000) ---\n";
+    util::Rng rng(13);
+    const auto base = bench::er_workload(2000, 20000, 15);
+    std::vector<graph::WeightedEdge> wedges;
+    for (const auto& e : base.edges()) {
+      wedges.push_back({e.u, e.v, 1.0 + 99.0 * rng.next_double()});
+    }
+    const auto wg =
+        graph::WeightedGraph::from_edges(2000, std::move(wedges));
+    util::Table t({"k", "|S|", "|S|/n", "bound 2k-1",
+                   "worst per-edge stretch (sampled)"});
+    for (const unsigned k : {2u, 3u, 4u}) {
+      const auto result = baselines::baswana_sen_weighted(wg, k, k + 40);
+      const auto sg = result.spanner_graph(wg.num_vertices());
+      double worst = 1.0;
+      const auto edge_list = wg.edge_list();
+      for (std::size_t i = 0; i < edge_list.size(); i += 13) {
+        const auto& e = edge_list[i];
+        const auto d = graph::dijkstra(sg, e.u);
+        worst = std::max(worst, d[e.v] / e.w);
+      }
+      t.row()
+          .cell(k)
+          .cell(result.size)
+          .cell(static_cast<double>(result.size) / wg.num_vertices(), 3)
+          .cell(static_cast<std::uint64_t>(2 * k - 1))
+          .cell(worst, 3);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n--- stretch-3 distance oracle (Thorup-Zwick k = 2) "
+                 "---\n";
+    util::Table t({"n", "m", "space words", "space/n^{3/2}", "landmarks",
+                   "avg bunch", "measured max stretch", "mean stretch"});
+    for (const graph::VertexId n : {1000u, 4000u, 16000u}) {
+      const auto g = bench::er_workload(n, 10ull * n, n + 9);
+      const apps::DistanceOracle oracle(g, 21);
+      util::Rng rng(n);
+      double worst = 1.0, sum = 0.0;
+      int count = 0;
+      for (int i = 0; i < 40; ++i) {
+        const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+        const auto d = graph::bfs_distances(g, u);
+        for (graph::VertexId v = 0; v < n; v += 97) {
+          if (u == v || d[v] == graph::kUnreachable) continue;
+          const double stretch =
+              static_cast<double>(oracle.query(u, v)) / d[v];
+          worst = std::max(worst, stretch);
+          sum += stretch;
+          ++count;
+        }
+      }
+      t.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(g.num_edges())
+          .cell(oracle.space_words())
+          .cell(oracle.space_words() / std::pow(n, 1.5), 3)
+          .cell(static_cast<std::uint64_t>(oracle.num_landmarks()))
+          .cell(oracle.average_bunch_size(), 2)
+          .cell(worst, 3)
+          .cell(sum / count, 3);
+    }
+    t.print(std::cout);
+    std::cout << "\nSection 5 context: the oracle's space-stretch point\n"
+                 "(n^{3/2}, 3) is the girth-bound baseline the paper's open\n"
+                 "problem asks to beat with (alpha,beta)-style tradeoffs.\n";
+  }
+
+  {
+    std::cout << "\n--- compact routing (stretch 3, ~sqrt(n) state/node; "
+                 "the Section 5 open-problem regime) ---\n";
+    util::Table t({"n", "landmarks", "avg table words", "words/sqrt(n)",
+                   "mean route stretch", "max route stretch",
+                   "landmark-routed fraction"});
+    for (const graph::VertexId n : {1000u, 4000u, 16000u}) {
+      const auto g = bench::er_workload(n, 8ull * n, n + 31);
+      const apps::CompactRouting scheme(g, 33);
+      util::Rng rng(n + 1);
+      double worst = 1.0, sum = 0.0;
+      std::uint64_t via_landmark = 0, count = 0;
+      for (int i = 0; i < 25; ++i) {
+        const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+        const auto dist = graph::bfs_distances(g, u);
+        for (graph::VertexId v = 0; v < n; v += 131) {
+          if (u == v || dist[v] == graph::kUnreachable) continue;
+          const auto route = scheme.route(u, v);
+          if (!route.delivered) continue;
+          const double stretch =
+              static_cast<double>(route.path.size() - 1) / dist[v];
+          worst = std::max(worst, stretch);
+          sum += stretch;
+          via_landmark += route.used_landmark;
+          ++count;
+        }
+      }
+      t.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(scheme.num_landmarks()))
+          .cell(scheme.average_table_words(), 1)
+          .cell(scheme.average_table_words() / std::sqrt(n), 2)
+          .cell(sum / static_cast<double>(count), 3)
+          .cell(worst, 3)
+          .cell(static_cast<double>(via_landmark) /
+                    static_cast<double>(count),
+                3);
+    }
+    t.print(std::cout);
+    std::cout << "\nThe open problem asks for (3-eps)d + polylog at\n"
+                 "O(n^{1-eps}) state: this scheme realizes the (3, sqrt n)\n"
+                 "corner the question wants to improve on.\n";
+  }
+  return 0;
+}

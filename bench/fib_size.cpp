@@ -1,0 +1,149 @@
+// E7 — Lemmas 7 and 8: Fibonacci spanner size. The sampling probabilities
+// q_i = n^{-f_i a} l^{-g_i phi + h_i} balance the per-level contributions at
+// ~ n^{1 + 1/(F_{o+3}-1)} l^phi each, so the total is
+// O((o/eps)^phi n^{1+1/(F_{o+3}-1)}) — approaching O(n (eps^-1 log log n)^phi)
+// at maximum order. Sweeps order and eps and prints per-level accounting.
+// Shape to verify: the size exponent drops toward 1 as o grows (ultrasparse
+// regime), level contributions are within a small factor of each other, and
+// eps enters through the l^phi factor.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "core/fibonacci.h"
+#include "util/fibonacci.h"
+
+int main() {
+  using namespace ultra;
+  bench::print_header(
+      "E7 / Lemmas 7-8 (Fibonacci size)",
+      "Size vs order o and eps; per-level balance of the q_i sampling.");
+
+  const auto g = bench::er_workload(8000, 56000, 3);
+  {
+    std::cout << "--- size vs order (eps = 1, n = " << g.num_vertices()
+              << ", m = " << g.num_edges() << ") ---\n";
+    util::Table t({"o", "ell", "alpha=1/(F_{o+3}-1)", "|S|", "|S|/n",
+                   "predicted level size", "levels |V_i|"});
+    for (const unsigned o : {1u, 2u, 3u, 4u, 5u}) {
+      const auto res = core::build_fibonacci(
+          g, {.order = o, .eps = 1.0, .ell = 0, .message_t = 0.0, .seed = 4});
+      std::string levels;
+      for (const auto x : res.stats.level_sizes) {
+        levels += std::to_string(x) + " ";
+      }
+      t.row()
+          .cell(o)
+          .cell(static_cast<std::uint64_t>(res.stats.levels.ell))
+          .cell(1.0 / (static_cast<double>(util::fibonacci(o + 3)) - 1.0), 4)
+          .cell(static_cast<std::uint64_t>(res.stats.spanner_size))
+          .cell(res.spanner.edges_per_vertex(), 3)
+          .cell(res.stats.levels.expected_level_size, 0)
+          .cell(levels);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n--- size vs eps (o = 3) ---\n";
+    util::Table t({"eps", "ell", "|S|", "|S|/n", "l^phi factor"});
+    for (const double eps : {0.25, 0.5, 1.0, 2.0}) {
+      const auto res = core::build_fibonacci(
+          g, {.order = 3, .eps = eps, .ell = 0, .message_t = 0.0, .seed = 4});
+      t.row()
+          .cell(eps, 2)
+          .cell(static_cast<std::uint64_t>(res.stats.levels.ell))
+          .cell(static_cast<std::uint64_t>(res.stats.spanner_size))
+          .cell(res.spanner.edges_per_vertex(), 3)
+          .cell(std::pow(static_cast<double>(res.stats.levels.ell),
+                         util::kGoldenRatio),
+                1);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n--- per-level accounting (o = 3, eps = 1) ---\n";
+    const auto res = core::build_fibonacci(
+        g, {.order = 3, .eps = 1.0, .ell = 0, .message_t = 0.0, .seed = 4});
+    util::Table t({"level i", "q_i", "|V_i|", "parent edges",
+                   "ball-path edges", "sum |B_{i+1}(v)|"});
+    for (unsigned i = 0; i <= res.stats.levels.order; ++i) {
+      t.row()
+          .cell(i)
+          .cell(res.stats.levels.q[i], 6)
+          .cell(res.stats.level_sizes[i])
+          .cell(res.stats.parent_edges[i])
+          .cell(res.stats.ball_edges[i])
+          .cell(res.stats.ball_total[i]);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    // At bench-scale n the Lemma 8 probabilities make V_1 so sparse that
+    // S_0 retains nearly every edge — the guarantee
+    // O(n^{1+1/(F_{o+3}-1)} l^phi) exceeds m, i.e. the bound is honest but
+    // vacuous below astronomically large n. To exhibit the *balance*
+    // property that drives Lemma 8 (each S_i contributes comparably), we
+    // boost every q_i by a common factor until level 1 covers a constant
+    // fraction of vertices, and measure the per-level edge contributions.
+    std::cout << "\n--- level balance with boosted probabilities "
+                 "(o = 3, q_i x boost) ---\n";
+    util::Table t({"boost", "|V_1|", "|V_2|", "|V_3|", "|S|", "|S|/n",
+                   "S edges by level (parent+ball)"});
+    for (const double boost : {1.0, 8.0, 32.0, 128.0}) {
+      core::FibonacciLevels lv = core::FibonacciLevels::plan(
+          g.num_vertices(), {.order = 3, .eps = 1.0, .ell = 6});
+      for (std::size_t i = 1; i < lv.q.size(); ++i) {
+        lv.q[i] = std::min(1.0, lv.q[i] * boost);
+        lv.q[i] = std::min(lv.q[i], lv.q[i - 1]);
+      }
+      util::Rng rng(17);
+      const auto level_of = lv.sample_levels(g.num_vertices(), rng);
+      const auto res = core::build_fibonacci_with_levels(g, lv, level_of);
+      std::string per_level;
+      for (unsigned i = 0; i <= lv.order; ++i) {
+        per_level += std::to_string(res.stats.parent_edges[i] +
+                                    res.stats.ball_edges[i]) +
+                     " ";
+      }
+      t.row()
+          .cell(boost, 0)
+          .cell(res.stats.level_sizes[1])
+          .cell(res.stats.level_sizes.size() > 2 ? res.stats.level_sizes[2]
+                                                 : 0)
+          .cell(res.stats.level_sizes.size() > 3 ? res.stats.level_sizes[3]
+                                                 : 0)
+          .cell(static_cast<std::uint64_t>(res.stats.spanner_size))
+          .cell(res.spanner.edges_per_vertex(), 3)
+          .cell(per_level);
+    }
+    t.print(std::cout);
+    std::cout << "Reading: boosting the hierarchy shows S_0 shrinking (fewer "
+                 "vertices keep all\nincident edges) while higher levels pick "
+                 "up the slack — the balancing act\nLemma 8 tunes via the "
+                 "Fibonacci exponents.\n";
+  }
+
+  {
+    std::cout << "\n--- size vs n (o = 2, eps = 1, avg degree 16) ---\n";
+    util::Table t({"n", "|S|", "|S|/n", "n^{1/(F_5-1)} = n^{1/4}"});
+    for (const std::uint32_t n : {2000u, 4000u, 8000u, 16000u}) {
+      const auto gn = bench::er_workload(n, 8ull * n, n + 5);
+      const auto res = core::build_fibonacci(
+          gn, {.order = 2, .eps = 1.0, .ell = 0, .message_t = 0.0, .seed = 4});
+      t.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(res.stats.spanner_size))
+          .cell(res.spanner.edges_per_vertex(), 3)
+          .cell(std::pow(n, 0.25), 2);
+    }
+    t.print(std::cout);
+    std::cout << "\nShape check: |S|/n grows like the n^{1/(F_{o+3}-1)}\n"
+                 "column (sublinear density growth), and higher orders\n"
+                 "flatten it further.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+// E1 — Fig. 1 of the paper: "The state of the art in distributed spanner
+// algorithms", regenerated with MEASURED columns. One row per algorithm
+// implemented in this library, run on a common workload; the remaining rows
+// of the paper's table (algorithms from [13,14,15,16,24]) are printed as
+// analytic entries since reimplementing five more papers is out of scope
+// (see DESIGN.md, substitutions).
+//
+// Columns: spanner size (edges and edges/n), measured distortion (max and
+// mean multiplicative over sampled pairs), rounds on the synchronous
+// simulator, maximum message length in words, and the paper-guaranteed
+// distortion for reference.
+
+#include <iostream>
+
+#include "baselines/additive2.h"
+#include "baselines/baswana_sen.h"
+#include "baselines/baswana_sen_distributed.h"
+#include "sim/network.h"
+#include "baselines/bfs_forest.h"
+#include "baselines/cds_skeleton.h"
+#include "baselines/greedy.h"
+#include "common.h"
+#include "core/fibonacci_distributed.h"
+#include "core/skeleton_distributed.h"
+
+namespace ultra {
+namespace {
+
+struct Row {
+  std::string name;
+  std::string guarantee;
+  std::uint64_t size = 0;
+  double max_mult = 0;
+  double mean_mult = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t max_words = 0;
+  std::string notes;
+};
+
+void run_workload(const std::string& label, const graph::Graph& g,
+                  std::uint64_t seed) {
+  std::cout << "--- workload: " << label << "  (" << g.summary()
+            << ", avg deg " << util::format_double(g.average_degree(), 2)
+            << ") ---\n";
+  util::Rng eval_rng(seed * 13 + 1);
+  std::vector<Row> rows;
+  auto measure = [&](Row row, const spanner::Spanner& s) {
+    util::Rng r = eval_rng.fork();
+    const auto rep = spanner::evaluate_sampled(g, s, 16, r);
+    row.size = s.size();
+    row.max_mult = rep.max_mult;
+    row.mean_mult = rep.mean_mult;
+    rows.push_back(std::move(row));
+  };
+
+  {
+    const auto s = baselines::bfs_forest(g);
+    measure({"BFS forest", "connectivity only", 0, 0, 0, 0, 1,
+             "floor: n - c edges"},
+            s);
+  }
+  {
+    sim::Metrics mis_metrics;
+    const auto res = baselines::cds_skeleton_distributed(g, seed, &mis_metrics);
+    Row row{"[18]-style CDS skeleton", "O(n) size, no distortion bound",
+            0,    0,
+            0,    mis_metrics.rounds + 2,
+            mis_metrics.max_message_words,
+            "distributed Luby MIS + stars + connector forest"};
+    measure(row, res.spanner);
+  }
+  {
+    const auto s = baselines::greedy_spanner(g, 3);
+    measure({"[4] greedy, k=3", "5-spanner, O(n^{4/3})", 0, 0, 0, 0, 0,
+             "sequential only (needs Theta(k)-hop surveys)"},
+            s);
+  }
+  {
+    const auto res = baselines::baswana_sen_distributed(g, 3, seed);
+    Row row{"[10] Baswana-Sen, k=3",
+            "5-spanner, O(kn + n^{1+1/3} log k)",
+            0,
+            0,
+            0,
+            res.network.rounds,
+            res.network.max_message_words,
+            "randomized, O(1)-word messages"};
+    measure(row, res.spanner);
+  }
+  {
+    const auto res = baselines::additive2_spanner(g, seed);
+    Row row{"[3]-style additive 2",
+            "+2 additive, O(n^{3/2} log^{1/2} n)",
+            0,
+            0,
+            0,
+            0,
+            0,
+            "sequential only (Theorem 5: needs Omega(n^{1/4}) rounds)"};
+    measure(row, res.spanner);
+  }
+  {
+    const auto res = core::build_skeleton_distributed(
+        g, {.D = 4, .eps = 1.0, .seed = seed});
+    Row row{"THIS PAPER skeleton, D=4",
+            "O(eps^-1 2^{log*n} log n)-spanner, Dn/e + O(n log D)",
+            0,
+            0,
+            0,
+            res.network.rounds,
+            res.network.max_message_words,
+            "cap " + std::to_string(res.message_cap_words) + " words; bound " +
+                std::to_string(res.schedule.distortion_bound)};
+    measure(row, res.spanner);
+  }
+  {
+    const auto res = core::build_fibonacci_distributed(
+        g, {.order = 2, .eps = 0.5, .ell = 0, .message_t = 2.0, .seed = seed});
+    Row row{"THIS PAPER Fibonacci, o=2",
+            "multi-stage: O(l+2) .. (1+eps); size O(n^{1+1/(F_5-1)} l^phi)",
+            0,
+            0,
+            0,
+            res.network.rounds,
+            res.network.max_message_words,
+            "cap n^{1/2}; ceased " + std::to_string(res.stats.ceased_nodes)};
+    measure(row, res.spanner);
+  }
+
+  util::Table table({"algorithm", "|S|", "|S|/n", "max stretch",
+                     "mean stretch", "rounds", "max msg words", "guarantee",
+                     "notes"});
+  for (const Row& row : rows) {
+    table.row()
+        .cell(row.name)
+        .cell(row.size)
+        .cell(static_cast<double>(row.size) / g.num_vertices(), 2)
+        .cell(row.max_mult, 2)
+        .cell(row.mean_mult, 3)
+        .cell(row.rounds)
+        .cell(row.max_words)
+        .cell(row.guarantee)
+        .cell(row.notes);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAnalytic rows (algorithms not reimplemented; guarantees "
+               "from Fig. 1 of the paper):\n"
+            << "  [13] Derbel-Gavoille          polylog(n) stretch, "
+               "O(n log log n) size, O(n^{o(1)}) time, unbounded messages, "
+               "deterministic\n"
+            << "  [15] DGPV                      (2k-1)-stretch, O(k n^{1+1/k})"
+               " size, O(k) time, unbounded messages, deterministic\n"
+            << "  [24] Elkin-Zhang               (1+eps,beta)-stretch, "
+               "O(beta n) size, O(beta) time, beta = (eps^-1 t^2 log n "
+               "loglog n)^{t loglog n}\n"
+            << "  [14,16] DGP / DGPV             (1+eps, c in {2,4,6}) "
+               "variants, polylog time, unbounded messages\n";
+}
+
+}  // namespace
+}  // namespace ultra
+
+int main() {
+  using namespace ultra;
+  bench::print_header(
+      "E1 / Fig. 1",
+      "State-of-the-art table regenerated with measured size, distortion,\n"
+      "round count and message length on a synchronous network simulator.");
+  run_workload("Erdos-Renyi", bench::er_workload(4096, 32768, 7), 7);
+  run_workload("ring of cliques",
+               graph::ring_of_cliques(256, 16), 11);
+  return 0;
+}

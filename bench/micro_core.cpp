@@ -1,0 +1,106 @@
+// E13 — sequential construction cost (google-benchmark). Section 2 remarks
+// the skeleton is sequentially constructible in O(m log n / log log n);
+// these microbenchmarks measure the real per-edge cost of the skeleton, the
+// Expand primitive, Baswana–Sen, BFS, contraction and Fibonacci ball
+// growing, across sizes — the library's inner loops.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/baswana_sen.h"
+#include "core/expand.h"
+#include "core/fibonacci.h"
+#include "core/skeleton.h"
+#include "graph/bfs.h"
+#include "graph/contraction.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ultra;
+
+graph::Graph make_graph(std::int64_t n) {
+  util::Rng rng(static_cast<std::uint64_t>(n));
+  return graph::connected_gnm(static_cast<graph::VertexId>(n),
+                              static_cast<std::uint64_t>(6 * n), rng);
+}
+
+void BM_SkeletonSequential(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto res = core::build_skeleton(g, {.D = 4, .eps = 1.0, .seed = seed++});
+    benchmark::DoNotOptimize(res.stats.spanner_size);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SkeletonSequential)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ExpandCall(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  util::Rng rng(3);
+  for (auto _ : state) {
+    core::ClusterState s = core::ClusterState::trivial(g);
+    std::uint64_t count = 0;
+    core::expand(s, 0.25, rng,
+                 [&](graph::VertexId, graph::VertexId) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_ExpandCall)->Arg(10000)->Arg(100000);
+
+void BM_BaswanaSen(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto res = baselines::baswana_sen(g, 3, seed++);
+    benchmark::DoNotOptimize(res.stats.spanner_size);
+  }
+}
+BENCHMARK(BM_BaswanaSen)->Arg(10000)->Arg(100000);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  graph::VertexId s = 0;
+  for (auto _ : state) {
+    auto d = graph::bfs_distances(g, s);
+    benchmark::DoNotOptimize(d.data());
+    s = (s + 1) % g.num_vertices();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_Bfs)->Arg(10000)->Arg(100000);
+
+void BM_Contract(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  util::Rng rng(5);
+  std::vector<std::uint32_t> part(g.num_vertices());
+  const std::uint32_t parts =
+      std::max<std::uint32_t>(2, g.num_vertices() / 16);
+  for (auto& x : part) x = static_cast<std::uint32_t>(rng.next_below(parts));
+  for (auto _ : state) {
+    auto q = graph::contract(g, part, parts);
+    benchmark::DoNotOptimize(q.graph.num_edges());
+  }
+}
+BENCHMARK(BM_Contract)->Arg(10000)->Arg(100000);
+
+void BM_FibonacciBuild(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto res = core::build_fibonacci(
+        g, {.order = 2, .eps = 1.0, .ell = 6, .message_t = 0.0,
+            .seed = seed++});
+    benchmark::DoNotOptimize(res.stats.spanner_size);
+  }
+}
+BENCHMARK(BM_FibonacciBuild)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

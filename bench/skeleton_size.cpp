@@ -1,0 +1,92 @@
+// E2 — Theorem 2 / Lemma 6: the skeleton's expected size is
+// Dn/e + O(n log D). This bench sweeps D at fixed n and n at fixed D and
+// prints measured size per vertex against the paper's exact Lemma 6
+// accounting n(D/e + 1 - 2/e + (1 + 1/D)(ln(D+2) - zeta + 1) + (ln D +
+// 0.2)/D), plus the dominant D/e term alone. The shape to verify: measured
+// size/n grows ~ linearly in D, is independent of n, and sits below the
+// Lemma 6 curve (the analysis is worst-case over adversarial cluster
+// adjacency; random graphs are kinder).
+
+#include <iostream>
+
+#include "common.h"
+#include "core/skeleton.h"
+
+int main() {
+  using namespace ultra;
+  bench::print_header("E2 / Lemma 6 + Theorem 2 (size)",
+                      "Skeleton size vs D and vs n; compare Dn/e + O(n log D).");
+
+  {
+    std::cout << "--- size vs D  (n = 20000, m = 120000, eps = 2) ---\n";
+    const auto g = bench::er_workload(20000, 120000, 3);
+    util::Table t({"D", "|S|", "|S|/n", "D/e", "Lemma6/n", "measured/Lemma6"});
+    for (const std::uint64_t D : {4ull, 6ull, 8ull, 12ull, 16ull, 24ull,
+                                  32ull}) {
+      const auto res =
+          core::build_skeleton(g, {.D = D, .eps = 2.0, .seed = 5});
+      const double per = res.spanner.edges_per_vertex();
+      const double lemma6 =
+          core::predicted_skeleton_size(g.num_vertices(), D) /
+          g.num_vertices();
+      t.row()
+          .cell(D)
+          .cell(res.stats.spanner_size)
+          .cell(per, 3)
+          .cell(static_cast<double>(D) / 2.718281828, 3)
+          .cell(lemma6, 3)
+          .cell(per / lemma6, 3);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n--- size vs n  (D = 4, eps = 1, avg degree 12) ---\n";
+    util::Table t({"n", "m", "|S|", "|S|/n", "Lemma6/n"});
+    for (const std::uint32_t n : {2000u, 4000u, 8000u, 16000u, 32000u,
+                                  64000u, 128000u}) {
+      const auto g = bench::er_workload(n, 6ull * n, 100 + n);
+      const auto res = core::build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 7});
+      t.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(g.num_edges())
+          .cell(res.stats.spanner_size)
+          .cell(res.spanner.edges_per_vertex(), 3)
+          .cell(core::predicted_skeleton_size(n, 4) / n, 3);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n--- size vs graph family  (D = 4, eps = 1) ---\n";
+    util::Rng rng(9);
+    struct Fam {
+      const char* name;
+      graph::Graph g;
+    };
+    std::vector<Fam> fams;
+    fams.push_back({"ER avg-deg 12", bench::er_workload(10000, 60000, 21)});
+    fams.push_back({"ER avg-deg 40", bench::er_workload(10000, 200000, 22)});
+    fams.push_back({"torus 100x100", graph::torus_graph(100, 100)});
+    fams.push_back({"hypercube 2^13", graph::hypercube(13)});
+    fams.push_back({"ring of cliques 625x16",
+                    graph::ring_of_cliques(625, 16)});
+    fams.push_back({"pref. attachment k=6",
+                    graph::preferential_attachment(10000, 6, rng)});
+    util::Table t({"family", "n", "m", "|S|", "|S|/n"});
+    for (const auto& f : fams) {
+      const auto res =
+          core::build_skeleton(f.g, {.D = 4, .eps = 1.0, .seed = 3});
+      t.row()
+          .cell(f.name)
+          .cell(static_cast<std::uint64_t>(f.g.num_vertices()))
+          .cell(f.g.num_edges())
+          .cell(res.stats.spanner_size)
+          .cell(res.spanner.edges_per_vertex(), 3);
+    }
+    t.print(std::cout);
+    std::cout << "\nShape check: |S|/n stays O(D) across n and families "
+                 "(linear-size skeleton),\nwhile m/n varies freely.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Live network maintenance: a network under churn (links appearing and
+// failing) keeps a (2k-1)-spanner continuously valid with local repairs —
+// the dynamic-spanner regime of the paper's Section 1.4 ([8,20,21]; Elkin
+// [20] adapts his to the distributed setting). The example streams a churn
+// trace through DynamicSpanner and reports the repair activity and how the
+// maintained spanner compares to rebuilding from scratch.
+//
+//   ./examples/dynamic_network [n] [operations] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/dynamic_spanner.h"
+#include "baselines/greedy.h"
+#include "graph/connectivity.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ultra;
+  const graph::VertexId n =
+      argc > 1 ? static_cast<graph::VertexId>(std::atoi(argv[1])) : 2000;
+  const int ops = argc > 2 ? std::atoi(argv[2]) : 40000;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  const unsigned k = 2;
+  baselines::DynamicSpanner dyn(n, k);
+  util::Rng rng(seed);
+  std::vector<graph::Edge> present;
+  std::uint64_t inserts = 0, deletes = 0, kept_on_insert = 0, promotions = 0;
+
+  util::Table t({"ops", "links", "spanner", "spanner/links",
+                 "repair promotions", "vs fresh greedy"});
+  for (int step = 1; step <= ops; ++step) {
+    const bool grow =
+        present.size() < 6ull * n && (present.empty() || rng.bernoulli(0.58));
+    if (grow) {
+      const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+      const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+      if (u == v || dyn.has_edge(u, v)) continue;
+      kept_on_insert += dyn.insert(u, v);
+      ++inserts;
+      present.push_back(graph::make_edge(u, v));
+    } else {
+      const std::size_t i = rng.next_below(present.size());
+      promotions += dyn.erase(present[i].u, present[i].v);
+      ++deletes;
+      present[i] = present.back();
+      present.pop_back();
+    }
+    if (step % (ops / 4) == 0) {
+      const auto snap = dyn.graph_snapshot();
+      const auto fresh = baselines::greedy_spanner(snap, k);
+      t.row()
+          .cell(step)
+          .cell(dyn.graph_size())
+          .cell(dyn.spanner_size())
+          .cell(static_cast<double>(dyn.spanner_size()) /
+                    std::max<std::uint64_t>(1, dyn.graph_size()),
+                3)
+          .cell(promotions)
+          .cell(static_cast<double>(dyn.spanner_size()) /
+                    std::max<std::size_t>(1, fresh.size()),
+                3);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nchurn trace: " << inserts << " link-ups (" << kept_on_insert
+            << " entered the spanner), " << deletes << " link-downs ("
+            << promotions << " repair promotions)\n"
+            << "stretch invariant (every dropped link bridged within "
+            << 2 * k - 1 << " hops): "
+            << (dyn.invariant_holds() ? "holds" : "VIOLATED") << '\n'
+            << "connectivity preserved: "
+            << (graph::same_connectivity(dyn.graph_snapshot(),
+                                         dyn.spanner_snapshot())
+                    ? "yes"
+                    : "NO")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Lower-bound explorer: a guided tour of the Section 3 impossibility
+// argument on an actual G(tau, beta, kappa) instance. Shows (1) that every
+// block vertex's tau-round view is identical — a tau-round algorithm cannot
+// tell critical edges from the other beta^2 - 1 block edges; (2) that a
+// size-bounded spanner must discard most block edges; (3) what that does to
+// the extremal pair, both for the oracle adversary and for a real algorithm
+// run on a randomly relabeled copy.
+//
+//   ./examples/lower_bound_explorer [tau] [beta] [kappa]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "baselines/greedy.h"
+#include "graph/bfs.h"
+#include "lowerbound/adversary.h"
+#include "lowerbound/gadget.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace ultra;
+  lowerbound::GadgetParams p;
+  p.tau = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2;
+  p.beta = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 12;
+  p.kappa = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 32;
+
+  const auto gadget = lowerbound::build_gadget(p);
+  std::cout << "G(tau=" << p.tau << ", beta=" << p.beta
+            << ", kappa=" << p.kappa << "): " << gadget.graph.summary()
+            << "\n  paper's n formula: " << lowerbound::paper_vertex_count(p)
+            << "\n  block edges (must be mostly discarded): "
+            << gadget.block_edges() << "\n  extremal pair distance: "
+            << gadget.extremal_distance() << "\n\n";
+
+  // (1) tau-round indistinguishability.
+  std::map<std::vector<std::uint64_t>, int> profiles;
+  for (std::uint32_t i = 0; i < p.kappa; ++i) {
+    for (std::uint32_t j = 0; j < p.beta; ++j) {
+      for (const graph::VertexId v : {gadget.left[i][j], gadget.right[i][j]}) {
+        const auto dist = graph::bfs_distances(gadget.graph, v, p.tau);
+        std::vector<std::uint64_t> layers(p.tau + 1, 0);
+        for (const auto d : dist) {
+          if (d != graph::kUnreachable) ++layers[d];
+        }
+        ++profiles[layers];
+      }
+    }
+  }
+  std::cout << "(1) distinct tau-round views among the " << 2 * p.kappa * p.beta
+            << " block vertices: " << profiles.size()
+            << (profiles.size() == 1 ? "  -> indistinguishable\n" : "\n");
+  for (const auto& [layers, count] : profiles) {
+    std::cout << "    view (ball layer sizes):";
+    for (const auto x : layers) std::cout << ' ' << x;
+    std::cout << "  x" << count << " vertices\n";
+  }
+
+  // (2)+(3) oracle adversary.
+  util::Rng rng(7);
+  const auto oracle = lowerbound::oracle_adversary(gadget, 2.0, rng);
+  std::cout << "\n(2) oracle adversary (discard each critical edge w.p. "
+            << oracle.discard_probability << "):\n    discarded "
+            << oracle.critical_discarded << "/" << p.kappa
+            << " critical edges -> extremal distance " << oracle.dist_g
+            << " becomes " << oracle.dist_h << " (additive +"
+            << oracle.additive << ")\n";
+
+  // A real algorithm under random relabeling.
+  const auto s = lowerbound::run_relabeled(
+      gadget,
+      [](const graph::Graph& g) { return baselines::greedy_spanner(g, 2); },
+      rng);
+  const auto m = lowerbound::measure_critical(gadget, s);
+  std::cout << "\n(3) greedy 3-spanner on a randomly relabeled copy:\n"
+            << "    spanner size " << m.spanner_size << " ("
+            << static_cast<double>(m.spanner_size) /
+                   gadget.graph.num_vertices()
+            << " n), kept " << m.critical_kept << "/" << m.critical_total
+            << " critical edges\n    extremal pair: " << m.dist_g << " -> "
+            << m.dist_h << " (additive +" << m.additive << ", stretch x"
+            << m.mult << ")\n";
+  std::cout << "\nTheorem 5's conclusion: achieving constant additive\n"
+            << "distortion on this family needs Omega(sqrt(n/beta)) rounds\n"
+            << "= " << p.tau << "+ here; no " << p.tau
+            << "-round algorithm with size o(block edges) can avoid the\n"
+               "detours you just observed.\n";
+  return 0;
+}

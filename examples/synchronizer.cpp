@@ -1,0 +1,63 @@
+// Broadcast backbone / synchronizer (the paper cites Peleg's synchronizers
+// as a primary application of sparse skeletons): global operations that
+// would flood every link of the network can instead run over a linear-size
+// skeleton, trading message complexity for a bounded increase in completion
+// time. This example runs an actual BFS-flood broadcast on the simulator
+// over (a) the full topology and (b) the skeleton, and compares messages
+// sent vs rounds to completion.
+//
+//   ./examples/synchronizer [n] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/skeleton_distributed.h"
+#include "graph/generators.h"
+#include "sim/flood.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ultra;
+  const graph::VertexId n =
+      argc > 1 ? static_cast<graph::VertexId>(std::atoi(argv[1])) : 6000;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+  util::Rng rng(seed);
+  const graph::Graph g = graph::connected_gnm(n, 12ull * n, rng);
+
+  // Build the backbone distributively (a one-time cost we also report).
+  const auto skel =
+      core::build_skeleton_distributed(g, {.D = 4, .eps = 1.0, .seed = seed});
+  const graph::Graph backbone = skel.spanner.to_graph();
+
+  std::cout << "network:  " << g.summary() << "\nbackbone: "
+            << backbone.summary() << "  (built in " << skel.network.rounds
+            << " rounds, " << skel.network.messages << " messages)\n\n";
+
+  util::Table t({"broadcast medium", "rounds to completion",
+                 "messages", "messages/node"});
+  for (const auto& [label, topo] :
+       {std::pair<const char*, const graph::Graph*>{"full graph", &g},
+        std::pair<const char*, const graph::Graph*>{"skeleton backbone",
+                                                    &backbone}}) {
+    sim::Network net(*topo, 1);
+    sim::BfsFlood flood(0);
+    const sim::Metrics m = net.run(flood, 10ull * n + 64);
+    t.row()
+        .cell(label)
+        .cell(m.rounds)
+        .cell(m.messages)
+        .cell(static_cast<double>(m.messages) / topo->num_vertices(), 2);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: per broadcast the backbone saves ~"
+            << g.average_degree() / backbone.average_degree()
+            << "x messages; the extra rounds are bounded by the skeleton's\n"
+               "distortion (x"
+            << skel.schedule.distortion_bound
+            << " worst case, far less in practice). The one-time build cost\n"
+               "amortizes over every subsequent global operation.\n";
+  return 0;
+}

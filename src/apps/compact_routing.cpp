@@ -1,0 +1,183 @@
+#include "apps/compact_routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "graph/bfs.h"
+
+namespace ultra::apps {
+
+using graph::VertexId;
+
+CompactRouting::CompactRouting(const graph::Graph& g, std::uint64_t seed)
+    : n_(g.num_vertices()) {
+  util::Rng rng(seed);
+  const double p = n_ > 1 ? 1.0 / std::sqrt(static_cast<double>(n_)) : 1.0;
+  landmark_index_.assign(n_, graph::kUnreachable);
+  for (VertexId v = 0; v < n_; ++v) {
+    if (rng.bernoulli(p)) {
+      landmark_index_[v] = static_cast<std::uint32_t>(landmarks_.size());
+      landmarks_.push_back(v);
+    }
+  }
+  if (landmarks_.empty() && n_ > 0) {
+    landmark_index_[0] = 0;
+    landmarks_.push_back(0);
+  }
+
+  // Pivots.
+  const auto ms = graph::multi_source_bfs(g, landmarks_);
+  pivot_ = ms.nearest;
+  pivot_dist_ = ms.dist;
+
+  // One BFS tree per landmark, with DFS numbering + child intervals for
+  // downward interval routing.
+  trees_.resize(landmarks_.size());
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    const auto bfs = graph::bfs(g, landmarks_[i]);
+    TreeState& tree = trees_[i];
+    tree.parent = bfs.parent;
+    tree.dfs_in.assign(n_, 0);
+    tree.children.assign(n_, {});
+    std::vector<std::vector<VertexId>> kids(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      if (bfs.parent[v] != graph::kInvalidVertex) {
+        kids[bfs.parent[v]].push_back(v);
+      }
+    }
+    // Iterative DFS computing in/out numbers.
+    std::vector<std::uint32_t> dfs_out(n_, 0);
+    std::uint32_t counter = 0;
+    std::vector<std::pair<VertexId, std::size_t>> stack;
+    if (bfs.dist[landmarks_[i]] == 0) {
+      stack.emplace_back(landmarks_[i], 0);
+      tree.dfs_in[landmarks_[i]] = counter++;
+    }
+    while (!stack.empty()) {
+      auto& [v, next_child] = stack.back();
+      if (next_child < kids[v].size()) {
+        const VertexId c = kids[v][next_child++];
+        tree.dfs_in[c] = counter++;
+        stack.emplace_back(c, 0);
+      } else {
+        dfs_out[v] = counter;
+        stack.pop_back();
+      }
+    }
+    for (VertexId v = 0; v < n_; ++v) {
+      for (const VertexId c : kids[v]) {
+        tree.children[v].push_back(
+            ChildInterval{c, tree.dfs_in[c], dfs_out[c]});
+      }
+    }
+  }
+
+  // Cluster tables: BFS from each w truncated at d(w,L) - 1 visits exactly
+  // B(w) = { u : d(u,w) < d(w,L) }; its parent pointers at u point toward w.
+  cluster_next_.assign(n_, {});
+  for (VertexId w = 0; w < n_; ++w) {
+    const std::uint32_t limit = pivot_dist_[w];
+    if (limit == 0) continue;  // w is a landmark: its tree covers routing
+    const std::uint32_t radius =
+        limit == graph::kUnreachable ? graph::kUnreachable : limit - 1;
+    const auto bfs = graph::bfs(g, w, radius);
+    for (VertexId u = 0; u < n_; ++u) {
+      if (u == w || bfs.dist[u] == graph::kUnreachable) continue;
+      cluster_next_[u].emplace(w, bfs.parent[u]);
+    }
+  }
+}
+
+CompactRouting::Address CompactRouting::address_of(VertexId v) const {
+  Address a;
+  a.node = v;
+  a.landmark = pivot_[v];
+  if (a.landmark != graph::kInvalidVertex) {
+    a.dfs_number = trees_[landmark_index_[a.landmark]].dfs_in[v];
+  }
+  return a;
+}
+
+CompactRouting::Route CompactRouting::route(VertexId u,
+                                            const Address& dest) const {
+  Route out;
+  out.path.push_back(u);
+  const VertexId v = dest.node;
+  if (u == v) {
+    out.delivered = true;
+    return out;
+  }
+  const std::size_t hop_limit = static_cast<std::size_t>(n_) * 4 + 16;
+  VertexId cur = u;
+  // Phase flags carried in the "packet header".
+  bool toward_landmark = false;
+  bool down_tree = false;
+  while (out.path.size() <= hop_limit) {
+    if (cur == v) {
+      out.delivered = true;
+      return out;
+    }
+    VertexId next = graph::kInvalidVertex;
+    if (!toward_landmark && !down_tree) {
+      // Direct mode: follow the cluster table if v is present (prefix
+      // closure keeps it present along the whole shortest path).
+      if (const auto it = cluster_next_[cur].find(v);
+          it != cluster_next_[cur].end()) {
+        next = it->second;
+      } else if (dest.landmark != graph::kInvalidVertex) {
+        toward_landmark = true;
+        out.used_landmark = true;
+      } else {
+        return out;  // unreachable: no cluster entry and no landmark
+      }
+    }
+    const TreeState* tree =
+        dest.landmark != graph::kInvalidVertex
+            ? &trees_[landmark_index_[dest.landmark]]
+            : nullptr;
+    if (toward_landmark) {
+      if (cur == dest.landmark) {
+        toward_landmark = false;
+        down_tree = true;
+      } else {
+        next = tree->parent[cur];
+        if (next == graph::kInvalidVertex) return out;  // different component
+      }
+    }
+    if (down_tree) {
+      next = graph::kInvalidVertex;
+      for (const ChildInterval& ci : tree->children[cur]) {
+        if (ci.lo <= dest.dfs_number && dest.dfs_number < ci.hi) {
+          next = ci.child;
+          break;
+        }
+      }
+      if (next == graph::kInvalidVertex) return out;  // bad address
+    }
+    if (next == graph::kInvalidVertex) return out;
+    out.path.push_back(next);
+    cur = next;
+  }
+  return out;  // loop guard tripped (should not happen)
+}
+
+std::uint64_t CompactRouting::table_words(VertexId v) const {
+  std::uint64_t words = 2ull * cluster_next_[v].size();  // (dest, port)
+  for (const TreeState& tree : trees_) {
+    words += 1;                                  // parent port
+    words += 3ull * tree.children[v].size();     // child intervals
+  }
+  words += 2;  // own pivot + distance
+  return words;
+}
+
+double CompactRouting::average_table_words() const {
+  if (n_ == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (VertexId v = 0; v < n_; ++v) total += table_words(v);
+  return static_cast<double>(total) / n_;
+}
+
+}  // namespace ultra::apps

@@ -1,0 +1,125 @@
+#include "apps/distance_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "graph/bfs.h"
+
+namespace ultra::apps {
+
+using graph::VertexId;
+
+DistanceOracle::DistanceOracle(const graph::Graph& g, std::uint64_t seed)
+    : n_(g.num_vertices()) {
+  util::Rng rng(seed);
+  const double p =
+      n_ > 1 ? 1.0 / std::sqrt(static_cast<double>(n_)) : 1.0;
+  landmark_index_.assign(n_, graph::kUnreachable);
+  for (VertexId v = 0; v < n_; ++v) {
+    if (rng.bernoulli(p)) {
+      landmark_index_[v] = static_cast<std::uint32_t>(landmarks_.size());
+      landmarks_.push_back(v);
+    }
+  }
+  // Degenerate safety: an empty sample would make every bunch the whole
+  // graph; promote vertex 0 instead (matches the n^{-1/2} regime for tiny n).
+  if (landmarks_.empty() && n_ > 0) {
+    landmark_index_[0] = 0;
+    landmarks_.push_back(0);
+  }
+
+  // Pivots via multi-source BFS (min-id tie-broken, like the paper's p_i).
+  const auto ms = graph::multi_source_bfs(g, landmarks_);
+  pivot_ = ms.nearest;
+  pivot_dist_ = ms.dist;
+
+  // Landmark rows.
+  landmark_row_.reserve(landmarks_.size());
+  for (const VertexId a : landmarks_) {
+    landmark_row_.push_back(graph::bfs_distances(g, a));
+    space_ += n_;
+  }
+
+  // Bunches: truncated BFS from each v up to d(v,A) - 1.
+  bunch_.assign(n_, {});
+  std::deque<VertexId> queue;
+  std::vector<std::uint32_t> dist(n_);
+  std::vector<std::uint8_t> seen(n_, 0);
+  std::vector<VertexId> touched;
+  for (VertexId v = 0; v < n_; ++v) {
+    const std::uint32_t limit = pivot_dist_[v];  // strictly closer than A
+    if (limit == 0 || limit == graph::kUnreachable) {
+      if (limit == graph::kUnreachable) {
+        // v's component has no landmark: store exact distances to the whole
+        // component (rare; expected O(1) small components).
+        const auto d = graph::bfs_distances(g, v);
+        for (VertexId w = 0; w < n_; ++w) {
+          if (w != v && d[w] != graph::kUnreachable) bunch_[v].emplace(w, d[w]);
+        }
+        space_ += bunch_[v].size() * 2;
+      }
+      continue;
+    }
+    touched.clear();
+    seen[v] = 1;
+    dist[v] = 0;
+    touched.push_back(v);
+    queue.clear();
+    queue.push_back(v);
+    while (!queue.empty()) {
+      const VertexId x = queue.front();
+      queue.pop_front();
+      // Members must satisfy d(v,w) < limit; stop expanding at limit-1.
+      if (dist[x] >= limit - 1) continue;
+      for (const VertexId w : g.neighbors(x)) {
+        if (seen[w]) continue;
+        seen[w] = 1;
+        dist[w] = dist[x] + 1;
+        touched.push_back(w);
+        queue.push_back(w);
+      }
+    }
+    for (const VertexId w : touched) {
+      if (w != v && dist[w] < limit) bunch_[v].emplace(w, dist[w]);
+    }
+    space_ += bunch_[v].size() * 2;
+    for (const VertexId w : touched) seen[w] = 0;
+  }
+  space_ += 2ull * n_;  // pivot id + pivot distance per vertex
+}
+
+double DistanceOracle::average_bunch_size() const {
+  if (n_ == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& b : bunch_) total += b.size();
+  return static_cast<double>(total) / n_;
+}
+
+std::uint32_t DistanceOracle::query(VertexId u, VertexId v) const {
+  if (u == v) return 0;
+  // Exact if v lies in u's bunch (or vice versa).
+  if (const auto it = bunch_[u].find(v); it != bunch_[u].end()) {
+    return it->second;
+  }
+  if (const auto it = bunch_[v].find(u); it != bunch_[v].end()) {
+    return it->second;
+  }
+  // Route through u's pivot; also try v's pivot and take the best.
+  std::uint32_t best = graph::kUnreachable;
+  if (pivot_[u] != graph::kInvalidVertex) {
+    const auto& row = landmark_row_[landmark_index_[pivot_[u]]];
+    if (row[v] != graph::kUnreachable) {
+      best = std::min(best, pivot_dist_[u] + row[v]);
+    }
+  }
+  if (pivot_[v] != graph::kInvalidVertex) {
+    const auto& row = landmark_row_[landmark_index_[pivot_[v]]];
+    if (row[u] != graph::kUnreachable) {
+      best = std::min(best, pivot_dist_[v] + row[u]);
+    }
+  }
+  return best;
+}
+
+}  // namespace ultra::apps

@@ -1,0 +1,59 @@
+// Approximate distance oracle, Thorup–Zwick style with k = 2 (the paper's
+// Section 5 singles out distance oracles/labelings as the main application
+// area for spanner techniques and asks whether (alpha,beta)-style tradeoffs
+// can beat the girth bound there).
+//
+// Construction (unweighted): sample A ⊆ V with probability n^{-1/2}; every
+// vertex v stores p(v) — its nearest A-vertex (min-id tie-broken, computed
+// with the same multi-source-BFS primitive the Fibonacci spanner uses) with
+// the exact distance, and its *bunch* B(v) = { w ∈ V : d(v,w) < d(v,A) }
+// with exact distances; every a ∈ A stores distances to all of V. Expected
+// space O(n^{3/2}) words; query O(1):
+//
+//   query(u,v) = min( bunch lookup (exact),
+//                     d(u,p(u)) + d(p(u),v) )    <= 3 d(u,v).
+//
+// The stretch-3 proof: if v ∉ B(u) then d(u,A) <= d(u,v), so
+// d(u,p(u)) + d(p(u),v) <= d(u,A) + d(u,A) + d(u,v) <= 3 d(u,v).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ultra::apps {
+
+class DistanceOracle {
+ public:
+  // Builds the oracle; expected O(m n^{1/2}) preprocessing.
+  DistanceOracle(const graph::Graph& g, std::uint64_t seed);
+
+  // Upper bound on d(u,v) with stretch <= 3; graph::kUnreachable if
+  // disconnected.
+  [[nodiscard]] std::uint32_t query(graph::VertexId u,
+                                    graph::VertexId v) const;
+
+  // Total words stored (bunches + pivot tables + landmark rows).
+  [[nodiscard]] std::uint64_t space_words() const noexcept { return space_; }
+  [[nodiscard]] std::size_t num_landmarks() const noexcept {
+    return landmarks_.size();
+  }
+  [[nodiscard]] double average_bunch_size() const;
+
+ private:
+  graph::VertexId n_;
+  std::vector<graph::VertexId> landmarks_;            // A
+  std::vector<graph::VertexId> pivot_;                // p(v)
+  std::vector<std::uint32_t> pivot_dist_;             // d(v, A)
+  // landmark_row_[i] = BFS distances from landmarks_[i] to all of V.
+  std::vector<std::vector<std::uint32_t>> landmark_row_;
+  std::vector<std::uint32_t> landmark_index_;         // a -> row index
+  // bunch_[v]: exact distances to every w strictly closer than A.
+  std::vector<std::unordered_map<graph::VertexId, std::uint32_t>> bunch_;
+  std::uint64_t space_ = 0;
+};
+
+}  // namespace ultra::apps

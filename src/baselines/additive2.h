@@ -1,0 +1,41 @@
+// An additive 2-spanner of size O(n^{3/2} log^{1/2} n), in the style of
+// Aingworth, Chekuri, Indyk and Motwani (see also Dor–Halperin–Zwick). This
+// is the classical purely-additive construction whose distributed
+// infeasibility Theorem 5 of the paper proves: any distributed additive
+// 2-spanner algorithm needs Omega(n^{1/4}) rounds. We build it sequentially
+// as a baseline for the lower-bound experiments.
+//
+// Construction: with degree threshold s = ceil(sqrt(n ln n)),
+//   (1) every vertex of degree < s keeps all its edges;
+//   (2) a random set R sampled with probability c ln(n)/s dominates every
+//       high-degree vertex w.h.p. (any undominated one is patched by adding
+//       itself); each high-degree vertex keeps one edge into its dominator;
+//   (3) a full BFS tree is added from every vertex of R.
+// Standard argument: a shortest path either uses only low-degree vertices
+// (all its edges survive) or touches a high-degree vertex, whose dominator's
+// BFS tree bridges the pair with additive surplus at most 2.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "spanner/spanner.h"
+
+namespace ultra::baselines {
+
+struct Additive2Stats {
+  std::uint32_t degree_threshold = 0;
+  std::uint64_t dominators = 0;
+  std::uint64_t low_degree_edges = 0;
+  std::uint64_t bfs_tree_edges = 0;
+};
+
+struct Additive2Result {
+  spanner::Spanner spanner;
+  Additive2Stats stats;
+};
+
+[[nodiscard]] Additive2Result additive2_spanner(const graph::Graph& g,
+                                                std::uint64_t seed);
+
+}  // namespace ultra::baselines

@@ -1,0 +1,37 @@
+#include "baselines/baswana_sen.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/expand.h"
+#include "util/rng.h"
+
+namespace ultra::baselines {
+
+BaswanaSenResult baswana_sen(const graph::Graph& g, unsigned k,
+                             std::uint64_t seed) {
+  if (k == 0) throw std::invalid_argument("baswana_sen: k must be >= 1");
+  BaswanaSenResult result{spanner::Spanner(g), BaswanaSenStats{}};
+  util::Rng rng(seed);
+
+  const double n = std::max<double>(2.0, g.num_vertices());
+  const double p = std::pow(n, -1.0 / static_cast<double>(k));
+
+  core::ClusterState state = core::ClusterState::trivial(g);
+  auto select = [&](graph::VertexId a, graph::VertexId b) {
+    result.spanner.add_edge(a, b);
+  };
+
+  for (unsigned phase = 1; phase <= k; ++phase) {
+    const double prob = phase < k ? p : 0.0;  // phase k: join nothing, keep
+                                              // one edge per adjacent cluster
+    const core::ExpandOutcome out = core::expand(state, prob, rng, select);
+    result.stats.edges_per_phase.push_back(out.edges_selected);
+    result.stats.clusters_per_phase.push_back(out.clusters_sampled);
+  }
+
+  result.stats.spanner_size = result.spanner.size();
+  return result;
+}
+
+}  // namespace ultra::baselines

@@ -1,0 +1,37 @@
+// The Baswana–Sen randomized (2k-1)-spanner (row [10] of Fig. 1),
+// specialized to unweighted graphs. Section 2 of the paper observes that its
+// clustering phase is exactly the Expand procedure run k-1 times with
+// sampling probability n^{-1/k} and no contraction, followed by a final
+// "kill everyone" phase in which each surviving vertex keeps one edge to
+// every adjacent cluster — i.e. Expand with p = 0. We implement it through
+// the same core::expand primitive, which also realizes the paper's corrected
+// size bound O(kn + n^{1+1/k} log k) (Lemma 6 fixes the original
+// O(kn + n^{1+1/k}) claim).
+//
+// Stretch guarantee: 2k-1. Clusters after phase i have radius <= i, so an
+// edge discarded at phase i is bridged by a path of length <= 2i + 1 <= 2k-1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "spanner/spanner.h"
+
+namespace ultra::baselines {
+
+struct BaswanaSenStats {
+  std::vector<std::uint64_t> edges_per_phase;
+  std::vector<std::uint64_t> clusters_per_phase;
+  std::uint64_t spanner_size = 0;
+};
+
+struct BaswanaSenResult {
+  spanner::Spanner spanner;
+  BaswanaSenStats stats;
+};
+
+[[nodiscard]] BaswanaSenResult baswana_sen(const graph::Graph& g, unsigned k,
+                                           std::uint64_t seed);
+
+}  // namespace ultra::baselines

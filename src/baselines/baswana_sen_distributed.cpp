@@ -1,0 +1,40 @@
+#include "baselines/baswana_sen_distributed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ultra::baselines {
+
+DistributedBaswanaSenResult baswana_sen_distributed(
+    const graph::Graph& g, unsigned k, std::uint64_t seed,
+    std::uint64_t message_cap_words) {
+  if (k == 0) {
+    throw std::invalid_argument("baswana_sen_distributed: k must be >= 1");
+  }
+  DistributedBaswanaSenResult result{spanner::Spanner(g), {}, {}, 0};
+  result.message_cap_words = std::max<std::uint64_t>(8, message_cap_words);
+
+  const double n = std::max<double>(2.0, g.num_vertices());
+  const double p = std::pow(n, -1.0 / static_cast<double>(k));
+
+  core::SkeletonSchedule schedule;
+  core::RoundPlan round;
+  round.s = 0;
+  for (unsigned phase = 1; phase < k; ++phase) round.probs.push_back(p);
+  round.probs.push_back(0.0);
+  schedule.total_expand_calls = static_cast<std::uint32_t>(round.probs.size());
+  schedule.rounds.push_back(std::move(round));
+
+  sim::Network net(g, result.message_cap_words);
+  core::ClusterProtocol protocol(g, schedule, seed, &result.spanner);
+  const std::uint64_t budget =
+      (static_cast<std::uint64_t>(k) + 2) *
+          (static_cast<std::uint64_t>(g.num_vertices()) + 64) +
+      1024;
+  result.network = net.run(protocol, budget);
+  result.protocol = protocol.stats();
+  return result;
+}
+
+}  // namespace ultra::baselines

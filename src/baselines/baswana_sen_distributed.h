@@ -1,0 +1,29 @@
+// Distributed Baswana–Sen (2k-1)-spanner: the ClusterProtocol run with a
+// single-round schedule of k-1 Expand calls at probability n^{-1/k} followed
+// by a kill-all call — the paper's observation that Baswana–Sen *is* the
+// Expand clustering without contraction. Runs in O(k) communication phases
+// with constant-word control messages (the dying-vertex list convergecasts
+// are trivial in round one: every phi^{-1} tree is a singleton).
+#pragma once
+
+#include <cstdint>
+
+#include "core/cluster_protocol.h"
+#include "graph/graph.h"
+#include "sim/network.h"
+#include "spanner/spanner.h"
+
+namespace ultra::baselines {
+
+struct DistributedBaswanaSenResult {
+  spanner::Spanner spanner;
+  core::ClusterProtocolStats protocol;
+  sim::Metrics network;
+  std::uint64_t message_cap_words = 0;
+};
+
+[[nodiscard]] DistributedBaswanaSenResult baswana_sen_distributed(
+    const graph::Graph& g, unsigned k, std::uint64_t seed,
+    std::uint64_t message_cap_words = 8);
+
+}  // namespace ultra::baselines

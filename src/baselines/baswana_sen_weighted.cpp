@@ -1,0 +1,158 @@
+#include "baselines/baswana_sen_weighted.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ultra::baselines {
+
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedEdge;
+
+WeightedSpannerResult baswana_sen_weighted(const graph::WeightedGraph& g,
+                                           unsigned k, std::uint64_t seed) {
+  if (k == 0) {
+    throw std::invalid_argument("baswana_sen_weighted: k must be >= 1");
+  }
+  const VertexId n = g.num_vertices();
+  WeightedSpannerResult result;
+  util::Rng rng(seed);
+  const double p =
+      std::pow(std::max<double>(2.0, n), -1.0 / static_cast<double>(k));
+
+  // Working edge set E' as per-vertex incidence lists over a shared edge
+  // array with alive flags.
+  const std::vector<WeightedEdge> edges = g.edge_list();
+  std::vector<std::uint8_t> edge_alive(edges.size(), 1);
+  std::vector<std::vector<std::uint32_t>> incident(n);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    incident[edges[i].u].push_back(i);
+    incident[edges[i].v].push_back(i);
+  }
+
+  std::vector<std::uint8_t> active(n, 1);     // still in V'
+  std::vector<VertexId> cluster(n);
+  for (VertexId v = 0; v < n; ++v) cluster[v] = v;
+
+  // Scratch: lightest edge per adjacent cluster for the current vertex.
+  std::vector<VertexId> stamp(n, graph::kInvalidVertex);
+  std::vector<std::uint32_t> lightest(n, 0);  // edge index per cluster id
+
+  std::vector<std::uint8_t> in_spanner(edges.size(), 0);
+  auto add_edge = [&](std::uint32_t idx) {
+    if (in_spanner[idx]) return;
+    in_spanner[idx] = 1;
+    result.spanner.push_back(edges[idx]);
+  };
+
+  for (unsigned phase = 1; phase <= k; ++phase) {
+    const bool last = phase == k;
+    std::uint64_t added_this_phase = 0;
+
+    // Sample the surviving clusters.
+    std::vector<std::uint8_t> decided(n, 0), sampled(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      const VertexId c = cluster[v];
+      if (!decided[c]) {
+        decided[c] = 1;
+        sampled[c] = (!last && rng.bernoulli(p)) ? 1 : 0;
+      }
+    }
+
+    std::vector<VertexId> new_cluster = cluster;
+    std::vector<VertexId> settled;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      const VertexId c0 = cluster[v];
+      if (sampled[c0]) continue;  // v's cluster survives; nothing to do
+
+      // Collect lightest alive edge per adjacent cluster; drop intra-cluster
+      // and dead-endpoint edges from E' as we see them.
+      std::vector<VertexId> clusters_here;
+      for (const std::uint32_t idx : incident[v]) {
+        if (!edge_alive[idx]) continue;
+        const WeightedEdge& e = edges[idx];
+        const VertexId w = e.u == v ? e.v : e.u;
+        if (!active[w]) {
+          edge_alive[idx] = 0;
+          continue;
+        }
+        const VertexId cw = cluster[w];
+        if (cw == c0) {
+          edge_alive[idx] = 0;  // intra-cluster: covered by the cluster tree
+          continue;
+        }
+        if (stamp[cw] != v) {
+          stamp[cw] = v;
+          lightest[cw] = idx;
+          clusters_here.push_back(cw);
+        } else if (edges[idx].w < edges[lightest[cw]].w) {
+          lightest[cw] = idx;
+        }
+      }
+
+      // Choose the sampled cluster with the lightest connection, if any.
+      VertexId join_cluster = graph::kInvalidVertex;
+      for (const VertexId cw : clusters_here) {
+        if (!sampled[cw]) continue;
+        if (join_cluster == graph::kInvalidVertex ||
+            edges[lightest[cw]].w < edges[lightest[join_cluster]].w ||
+            (edges[lightest[cw]].w == edges[lightest[join_cluster]].w &&
+             cw < join_cluster)) {
+          join_cluster = cw;
+        }
+      }
+
+      if (join_cluster != graph::kInvalidVertex) {
+        const std::uint32_t chosen = lightest[join_cluster];
+        add_edge(chosen);
+        ++added_this_phase;
+        new_cluster[v] = join_cluster;
+        const Weight threshold = edges[chosen].w;
+        // Baswana–Sen's case (b): clusters whose lightest connection is
+        // LIGHTER than the join edge are resolved now — their lightest edge
+        // enters the spanner and all their edges leave E'. Edges to heavier
+        // clusters stay in E' for later phases. All edges into the joined
+        // cluster leave E'.
+        for (const VertexId cw : clusters_here) {
+          if (cw != join_cluster && edges[lightest[cw]].w < threshold) {
+            add_edge(lightest[cw]);
+            ++added_this_phase;
+          }
+        }
+        for (const std::uint32_t idx : incident[v]) {
+          if (!edge_alive[idx]) continue;
+          const WeightedEdge& e = edges[idx];
+          const VertexId w = e.u == v ? e.v : e.u;
+          if (!active[w]) continue;
+          const VertexId cw = cluster[w];
+          if (cw == join_cluster ||
+              (stamp[cw] == v && cw != c0 &&
+               edges[lightest[cw]].w < threshold)) {
+            edge_alive[idx] = 0;
+          }
+        }
+      } else {
+        // No sampled neighbor: keep the lightest edge to every adjacent
+        // cluster and settle v.
+        for (const VertexId cw : clusters_here) {
+          add_edge(lightest[cw]);
+          ++added_this_phase;
+        }
+        for (const std::uint32_t idx : incident[v]) edge_alive[idx] = 0;
+        settled.push_back(v);
+      }
+    }
+    cluster = std::move(new_cluster);
+    for (const VertexId v : settled) active[v] = 0;
+    result.edges_per_phase.push_back(added_this_phase);
+  }
+
+  result.size = result.spanner.size();
+  return result;
+}
+
+}  // namespace ultra::baselines

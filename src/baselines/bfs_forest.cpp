@@ -1,0 +1,36 @@
+#include "baselines/bfs_forest.h"
+
+#include <deque>
+#include <vector>
+
+#include "graph/bfs.h"
+
+namespace ultra::baselines {
+
+using graph::VertexId;
+
+spanner::Spanner bfs_forest(const graph::Graph& g) {
+  const VertexId n = g.num_vertices();
+  spanner::Spanner s(g);
+  std::vector<std::uint8_t> visited(n, 0);
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const VertexId w : g.neighbors(v)) {
+        if (!visited[w]) {
+          visited[w] = 1;
+          s.add_edge(v, w);
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace ultra::baselines

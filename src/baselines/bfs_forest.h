@@ -1,0 +1,13 @@
+// BFS spanning forest: the minimal connectivity-preserving subgraph, n - c
+// edges. The floor of every size comparison (any skeleton must contain at
+// least a spanning forest) with no distance guarantee beyond O(diameter).
+#pragma once
+
+#include "graph/graph.h"
+#include "spanner/spanner.h"
+
+namespace ultra::baselines {
+
+[[nodiscard]] spanner::Spanner bfs_forest(const graph::Graph& g);
+
+}  // namespace ultra::baselines

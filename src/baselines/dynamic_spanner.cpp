@@ -1,0 +1,185 @@
+#include "baselines/dynamic_spanner.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace ultra::baselines {
+
+using graph::VertexId;
+
+namespace {
+
+void remove_from(std::vector<VertexId>& list, VertexId x) {
+  const auto it = std::find(list.begin(), list.end(), x);
+  if (it != list.end()) {
+    *it = list.back();
+    list.pop_back();
+  }
+}
+
+}  // namespace
+
+DynamicSpanner::DynamicSpanner(VertexId n, unsigned k)
+    : k_(k), adj_(n), spanner_adj_(n), epoch_(n, 0), dist_(n, 0) {
+  if (k == 0) throw std::invalid_argument("DynamicSpanner: k must be >= 1");
+}
+
+bool DynamicSpanner::has_edge(VertexId u, VertexId v) const {
+  return edges_.contains(graph::edge_key(graph::make_edge(u, v)));
+}
+
+bool DynamicSpanner::in_spanner(VertexId u, VertexId v) const {
+  return spanner_edges_.contains(graph::edge_key(graph::make_edge(u, v)));
+}
+
+bool DynamicSpanner::spanner_reachable(VertexId u, VertexId v,
+                                       std::uint32_t limit) const {
+  ++now_;
+  epoch_[u] = now_;
+  dist_[u] = 0;
+  std::deque<VertexId> queue{u};
+  while (!queue.empty()) {
+    const VertexId x = queue.front();
+    queue.pop_front();
+    if (dist_[x] >= limit) continue;
+    for (const VertexId w : spanner_adj_[x]) {
+      if (epoch_[w] == now_) continue;
+      epoch_[w] = now_;
+      dist_[w] = dist_[x] + 1;
+      if (w == v) return true;
+      queue.push_back(w);
+    }
+  }
+  return false;
+}
+
+std::vector<VertexId> DynamicSpanner::spanner_ball(
+    VertexId center, std::uint32_t radius) const {
+  ++now_;
+  epoch_[center] = now_;
+  dist_[center] = 0;
+  std::vector<VertexId> out{center};
+  std::deque<VertexId> queue{center};
+  while (!queue.empty()) {
+    const VertexId x = queue.front();
+    queue.pop_front();
+    if (dist_[x] >= radius) continue;
+    for (const VertexId w : spanner_adj_[x]) {
+      if (epoch_[w] == now_) continue;
+      epoch_[w] = now_;
+      dist_[w] = dist_[x] + 1;
+      out.push_back(w);
+      queue.push_back(w);
+    }
+  }
+  return out;
+}
+
+void DynamicSpanner::spanner_add(VertexId u, VertexId v) {
+  spanner_edges_.insert(graph::edge_key(graph::make_edge(u, v)));
+  spanner_adj_[u].push_back(v);
+  spanner_adj_[v].push_back(u);
+  ++spanner_m_;
+}
+
+void DynamicSpanner::spanner_remove(VertexId u, VertexId v) {
+  spanner_edges_.erase(graph::edge_key(graph::make_edge(u, v)));
+  remove_from(spanner_adj_[u], v);
+  remove_from(spanner_adj_[v], u);
+  --spanner_m_;
+}
+
+bool DynamicSpanner::insert(VertexId u, VertexId v) {
+  if (u >= adj_.size() || v >= adj_.size()) {
+    throw std::out_of_range("DynamicSpanner::insert: vertex out of range");
+  }
+  if (u == v || has_edge(u, v)) return false;
+  edges_.insert(graph::edge_key(graph::make_edge(u, v)));
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++m_;
+  if (spanner_reachable(u, v, 2 * k_ - 1)) return false;
+  spanner_add(u, v);
+  return true;
+}
+
+std::size_t DynamicSpanner::erase(VertexId u, VertexId v) {
+  if (!has_edge(u, v)) {
+    throw std::invalid_argument("DynamicSpanner::erase: edge not present");
+  }
+  const bool was_spanner = in_spanner(u, v);
+
+  // Candidate set BEFORE mutating the spanner: only edges with an endpoint
+  // within 2k-2 spanner-hops of u (equivalently v: the balls overlap via the
+  // deleted edge) can lose their last short certificate.
+  std::vector<VertexId> region;
+  if (was_spanner) {
+    region = spanner_ball(u, 2 * k_ - 1);
+    const auto more = spanner_ball(v, 2 * k_ - 1);
+    region.insert(region.end(), more.begin(), more.end());
+    std::sort(region.begin(), region.end());
+    region.erase(std::unique(region.begin(), region.end()), region.end());
+  }
+
+  edges_.erase(graph::edge_key(graph::make_edge(u, v)));
+  remove_from(adj_[u], v);
+  remove_from(adj_[v], u);
+  --m_;
+  if (!was_spanner) return 0;
+  spanner_remove(u, v);
+
+  // Re-offer every non-spanner edge incident to the affected region. A
+  // single pass suffices: promotions only shorten spanner distances, so an
+  // edge found satisfied stays satisfied.
+  std::size_t promoted = 0;
+  for (const VertexId x : region) {
+    for (const VertexId y : adj_[x]) {
+      if (x > y || in_spanner(x, y)) continue;
+      if (!spanner_reachable(x, y, 2 * k_ - 1)) {
+        spanner_add(x, y);
+        ++promoted;
+      }
+    }
+  }
+  return promoted;
+}
+
+graph::Graph DynamicSpanner::graph_snapshot() const {
+  std::vector<graph::Edge> edges;
+  edges.reserve(m_);
+  for (VertexId u = 0; u < adj_.size(); ++u) {
+    for (const VertexId v : adj_[u]) {
+      if (u < v) edges.push_back(graph::Edge{u, v});
+    }
+  }
+  return graph::Graph::from_edges(static_cast<VertexId>(adj_.size()),
+                                  std::move(edges));
+}
+
+graph::Graph DynamicSpanner::spanner_snapshot() const {
+  std::vector<graph::Edge> edges;
+  edges.reserve(spanner_m_);
+  for (VertexId u = 0; u < spanner_adj_.size(); ++u) {
+    for (const VertexId v : spanner_adj_[u]) {
+      if (u < v) edges.push_back(graph::Edge{u, v});
+    }
+  }
+  return graph::Graph::from_edges(static_cast<VertexId>(spanner_adj_.size()),
+                                  std::move(edges));
+}
+
+bool DynamicSpanner::invariant_holds() const {
+  for (const std::uint64_t key : spanner_edges_) {
+    if (!edges_.contains(key)) return false;  // spanner must be a subgraph
+  }
+  for (VertexId u = 0; u < adj_.size(); ++u) {
+    for (const VertexId v : adj_[u]) {
+      if (u > v || in_spanner(u, v)) continue;
+      if (!spanner_reachable(u, v, 2 * k_ - 1)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ultra::baselines

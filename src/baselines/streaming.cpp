@@ -1,0 +1,66 @@
+#include "baselines/streaming.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace ultra::baselines {
+
+using graph::VertexId;
+
+StreamingSpanner::StreamingSpanner(VertexId n, unsigned k)
+    : k_(k),
+      adjacency_(n),
+      epoch_(n, 0),
+      dist_(n, 0) {
+  if (k == 0) throw std::invalid_argument("StreamingSpanner: k must be >= 1");
+}
+
+bool StreamingSpanner::offer(VertexId u, VertexId v) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    throw std::out_of_range("StreamingSpanner::offer: vertex out of range");
+  }
+  ++seen_;
+  if (u == v) return false;
+
+  // Truncated BFS from u in the kept subgraph, radius 2k-1.
+  const std::uint32_t limit = 2 * k_ - 1;
+  ++now_;
+  epoch_[u] = now_;
+  dist_[u] = 0;
+  std::deque<VertexId> queue{u};
+  bool reachable = false;
+  while (!queue.empty() && !reachable) {
+    const VertexId x = queue.front();
+    queue.pop_front();
+    if (dist_[x] >= limit) continue;
+    for (const VertexId w : adjacency_[x]) {
+      if (epoch_[w] == now_) continue;
+      epoch_[w] = now_;
+      dist_[w] = dist_[x] + 1;
+      if (w == v) {
+        reachable = true;
+        break;
+      }
+      queue.push_back(w);
+    }
+  }
+  if (reachable) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++kept_;
+  return true;
+}
+
+graph::Graph StreamingSpanner::snapshot() const {
+  std::vector<graph::Edge> edges;
+  edges.reserve(kept_);
+  for (VertexId u = 0; u < adjacency_.size(); ++u) {
+    for (const VertexId v : adjacency_[u]) {
+      if (u < v) edges.push_back(graph::Edge{u, v});
+    }
+  }
+  return graph::Graph::from_edges(
+      static_cast<VertexId>(adjacency_.size()), std::move(edges));
+}
+
+}  // namespace ultra::baselines

@@ -1,0 +1,71 @@
+#include "core/ball_broadcast.h"
+
+#include <algorithm>
+
+namespace ultra::sim {
+
+void BallBroadcast::begin(Network& net) {
+  const VertexId n = net.num_nodes();
+  known_.assign(n, {});
+  has_ceased_.assign(n, 0);
+  ceased_.clear();
+  for (VertexId v = 0; v < n && v < is_source_.size(); ++v) {
+    if (is_source_[v]) {
+      known_[v].emplace(v, KnownSource{0, graph::kInvalidVertex});
+    }
+  }
+}
+
+void BallBroadcast::on_round(Mailbox& mb) {
+  const VertexId v = mb.self();
+  const auto now = static_cast<std::uint32_t>(mb.round());
+
+  // Collect the ids newly learned this round, remembering who taught us
+  // each one (the per-neighbor exclusion below and the path pointer).
+  std::vector<std::pair<Word, VertexId>> fresh;  // (source id, learned from)
+  if (now == 0) {
+    if (v < is_source_.size() && is_source_[v]) {
+      fresh.emplace_back(Word{v}, graph::kInvalidVertex);
+    }
+  } else {
+    for (const Message& m : mb.inbox()) {
+      for (const Word y : m.payload) {
+        const auto src = static_cast<VertexId>(y);
+        if (known_[v].emplace(src, KnownSource{now, m.from}).second) {
+          fresh.emplace_back(y, m.from);
+        }
+      }
+    }
+  }
+
+  if (has_ceased_[v] || fresh.empty() || now >= radius_) return;
+
+  // Relay the fresh ids to each neighbor, excluding ids learned from that
+  // neighbor. If any single message would exceed the cap, cease instead.
+  const std::uint64_t cap = mb.message_cap();
+  std::vector<std::vector<Word>> per_neighbor;
+  const auto nbrs = mb.neighbors();
+  per_neighbor.resize(nbrs.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (const auto& [y, from] : fresh) {
+      if (from == nbrs[i]) continue;
+      per_neighbor[i].push_back(y);
+    }
+    if (per_neighbor[i].size() > cap) {
+      has_ceased_[v] = 1;
+      ceased_.emplace_back(v, now);
+      return;  // cease: relay nothing, now or ever
+    }
+  }
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (!per_neighbor[i].empty()) {
+      mb.send(nbrs[i], std::move(per_neighbor[i]));
+    }
+  }
+}
+
+bool BallBroadcast::done(const Network& net) const {
+  return net.round() > radius_;
+}
+
+}  // namespace ultra::sim

@@ -1,0 +1,61 @@
+// Stage 2 of the distributed Fibonacci construction (Section 4.4): every
+// source (a V_i vertex) broadcasts its identity to all nodes within radius
+// ell^i. In step k each node receives, from each neighbor, the list of
+// source ids at distance k-1 from that neighbor, and relays the newly
+// learned ids onward — except that a node required to send a message longer
+// than the cap (O(n^{1/t}) words) CEASES participation, recording the step
+// at which it stopped. The interference lemma (Fig. 9 of the paper): a
+// message from y ∈ B_{i+1,ell}(x) can only be blocked by congestion from
+// other members of B_{i+1,ell}(x), so with cap >= 4 q_i/q_{i+1} ln n
+// cessation never hides a ball member, w.h.p.
+//
+// Each node also records, per known source, the neighbor it first heard the
+// source from — the next hop of a shortest path toward that source. The
+// spanner-path marking that follows the broadcast walks these pointers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace ultra::sim {
+
+class BallBroadcast : public Protocol {
+ public:
+  struct KnownSource {
+    std::uint32_t dist = 0;
+    VertexId parent = graph::kInvalidVertex;  // next hop toward the source
+  };
+
+  BallBroadcast(std::vector<std::uint8_t> is_source, std::uint32_t radius)
+      : is_source_(std::move(is_source)), radius_(radius) {}
+
+  void begin(Network& net) override;
+  void on_round(Mailbox& mb) override;
+  [[nodiscard]] bool done(const Network& net) const override;
+
+  // known()[z]: every source z learned about, with distance and next hop.
+  [[nodiscard]] const std::vector<
+      std::unordered_map<VertexId, KnownSource>>&
+  known() const noexcept {
+    return known_;
+  }
+
+  // Nodes that ceased, with the step after which they stopped relaying.
+  [[nodiscard]] const std::vector<std::pair<VertexId, std::uint32_t>>&
+  ceased() const noexcept {
+    return ceased_;
+  }
+
+ private:
+  std::vector<std::uint8_t> is_source_;
+  std::uint32_t radius_;
+
+  std::vector<std::unordered_map<VertexId, KnownSource>> known_;
+  std::vector<std::uint8_t> has_ceased_;
+  std::vector<std::pair<VertexId, std::uint32_t>> ceased_;
+};
+
+}  // namespace ultra::sim

@@ -1,0 +1,545 @@
+#include "core/cluster_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ultra::core {
+
+using graph::VertexId;
+using sim::Word;
+
+ClusterProtocol::ClusterProtocol(const graph::Graph& g,
+                                 SkeletonSchedule schedule, std::uint64_t seed,
+                                 spanner::Spanner* out,
+                                 double abort_threshold_factor)
+    : graph_(g),
+      schedule_(std::move(schedule)),
+      seed_(seed),
+      out_(out),
+      abort_factor_(abort_threshold_factor) {}
+
+void ClusterProtocol::begin(sim::Network& net) {
+  const VertexId n = net.num_nodes();
+  util::Rng rng(seed_);
+
+  // Pre-draw every sampling decision (the paper: all sampling happens before
+  // the first round of communication). first_unsampled_[r][v] is the first
+  // call j of round r whose Bernoulli(p_j) draw fails for a cluster centered
+  // at v; t (= #calls) if every draw succeeds.
+  first_unsampled_.assign(schedule_.rounds.size(), {});
+  for (std::size_t r = 0; r < schedule_.rounds.size(); ++r) {
+    const auto& probs = schedule_.rounds[r].probs;
+    first_unsampled_[r].assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      std::uint32_t k = 0;
+      while (k < probs.size() && rng.bernoulli(probs[k])) ++k;
+      first_unsampled_[r][v] = k;
+    }
+  }
+
+  alive_.assign(n, 1);
+  alive_total_ = n;
+  vcenter_.resize(n);
+  for (VertexId v = 0; v < n; ++v) vcenter_[v] = v;
+  p1_.assign(n, graph::kInvalidVertex);
+  ccenter_ = vcenter_;
+  p2_.assign(n, graph::kInvalidVertex);
+  horizon_.assign(n, 0);
+  children_.assign(n, {});
+
+  best_.assign(n, {});
+  winner_child_.assign(n, graph::kInvalidVertex);
+  cand_wait_.assign(n, 0);
+  statuses_read_.assign(n, 0);
+  local_entries_.assign(n, {});
+  list_queue_.assign(n, {});
+  seen_clusters_.assign(n, {});
+  list_wait_.assign(n, 0);
+  list_mode_.assign(n, 0);
+  list_done_sending_.assign(n, 0);
+  abort_flag_.assign(n, 0);
+  horizon_known_.assign(n, 0);
+
+  // Per-message list chunk capacity: 1 tag word + 3 words per entry.
+  const std::uint64_t cap = net.message_cap();
+  list_chunk_entries_ = cap == sim::kUnboundedMessages
+                            ? 64
+                            : std::max<std::uint64_t>(1, (cap - 1) / 3);
+
+  round_index_ = 0;
+  last_round_seen_ = ~0ull;
+  start_schedule_round();
+}
+
+void ClusterProtocol::start_schedule_round() {
+  // Clusters become singletons of working vertices; p2 starts out as p1.
+  std::uint64_t alive_count = 0;
+  const auto& probs = schedule_.rounds[round_index_].probs;
+  const std::uint64_t s = schedule_.rounds[round_index_].s;
+  const double inv_p =
+      s != 0 ? static_cast<double>(s)
+             : (probs.empty() || probs[0] <= 0.0 ? 1.0 : 1.0 / probs[0]);
+  abort_threshold_ = std::max(
+      8.0, abort_factor_ * inv_p *
+               std::log(std::max<double>(2.0, graph_.num_vertices())));
+
+  for (VertexId v = 0; v < alive_.size(); ++v) {
+    if (!alive_[v]) continue;
+    ++alive_count;
+    ccenter_[v] = vcenter_[v];
+    p2_[v] = p1_[v];
+    horizon_known_[v] = 0;
+  }
+  call_index_ = 0;
+  phase_ = Phase::kRoundStart;
+  barrier_pending_ = alive_count;
+  phase_rounds_ = 0;
+  if (alive_count == 0) phase_ = Phase::kDone;
+}
+
+void ClusterProtocol::start_call() {
+  // Count acting groups/members for the barrier, reset per-call scratch.
+  std::uint64_t acting_members = 0;
+  for (VertexId v = 0; v < alive_.size(); ++v) {
+    if (!alive_[v]) continue;
+    best_[v] = Candidate{};
+    winner_child_[v] = graph::kInvalidVertex;
+    statuses_read_[v] = 0;
+    list_mode_[v] = 0;
+    list_done_sending_[v] = 0;
+    abort_flag_[v] = 0;
+    if (is_acting(v)) {
+      ++acting_members;
+      cand_wait_[v] = static_cast<std::uint32_t>(children_[v].size());
+      list_wait_[v] = static_cast<std::uint32_t>(children_[v].size());
+      local_entries_[v].clear();
+      list_queue_[v].clear();
+      seen_clusters_[v].clear();
+    }
+  }
+  ++stats_.expand_calls;
+  phase_ = Phase::kStatus;
+  barrier_pending_ = acting_members;  // consumed by the kAct phase
+  phase_rounds_ = 0;
+}
+
+void ClusterProtocol::advance_controller() {
+  // Loop because several transitions can be immediate (empty barriers).
+  for (int guard = 0; guard < 8; ++guard) {
+    switch (phase_) {
+      case Phase::kRoundStart:
+        if (barrier_pending_ == 0) {
+          start_call();
+          continue;
+        }
+        ++stats_.broadcast_rounds;
+        return;
+      case Phase::kStatus:
+        if (phase_rounds_ >= 1) {
+          // Status sent last round; arrives this round. Move to kAct (the
+          // barrier was preloaded by start_call).
+          phase_ = Phase::kAct;
+          phase_rounds_ = 0;
+          continue;
+        }
+        ++stats_.status_rounds;
+        ++phase_rounds_;
+        return;
+      case Phase::kAct:
+        if (barrier_pending_ == 0) {
+          ++call_index_;
+          if (call_index_ < schedule_.rounds[round_index_].probs.size()) {
+            start_call();
+            continue;
+          }
+          phase_ = Phase::kContract;
+          phase_rounds_ = 0;
+          continue;
+        }
+        ++stats_.gather_rounds;
+        return;
+      case Phase::kContract:
+        if (phase_rounds_ >= 2) {
+          ++round_index_;
+          if (round_index_ < schedule_.rounds.size()) {
+            start_schedule_round();
+            continue;
+          }
+          phase_ = Phase::kDone;
+          continue;
+        }
+        ++stats_.contraction_rounds;
+        ++phase_rounds_;
+        return;
+      case Phase::kDone:
+        return;
+    }
+  }
+}
+
+void ClusterProtocol::on_round(sim::Mailbox& mb) {
+  if (mb.round() != last_round_seen_) {
+    last_round_seen_ = mb.round();
+    advance_controller();
+  }
+  const VertexId v = mb.self();
+  if (!alive_[v]) return;  // dead vertices ignore everything
+  mb.stay_awake();         // keep the controller ticking
+
+  switch (phase_) {
+    case Phase::kRoundStart:
+      handle_round_start(mb);
+      break;
+    case Phase::kStatus:
+      handle_status(mb);
+      break;
+    case Phase::kAct:
+      handle_act(mb);
+      break;
+    case Phase::kContract:
+      handle_contract(mb);
+      break;
+    case Phase::kDone:
+      break;
+  }
+}
+
+bool ClusterProtocol::done(const sim::Network&) const {
+  // The schedule ends with a kill-all call, so alive_total_ reaching zero is
+  // the normal terminal state (and must terminate the run: dead vertices are
+  // silent, so the controller would otherwise never tick again).
+  return phase_ == Phase::kDone || alive_total_ == 0;
+}
+
+// --- Phase: round-start horizon broadcast --------------------------------
+
+void ClusterProtocol::handle_round_start(sim::Mailbox& mb) {
+  const VertexId v = mb.self();
+  if (horizon_known_[v]) return;
+  if (vcenter_[v] == v) {
+    horizon_[v] = first_unsampled_[round_index_][v];
+  } else {
+    bool got = false;
+    for (const sim::Message& m : mb.inbox()) {
+      if (!m.payload.empty() && m.payload[0] == kTagHorizon &&
+          m.from == p1_[v]) {
+        horizon_[v] = static_cast<std::uint32_t>(m.payload[1]);
+        got = true;
+      }
+    }
+    if (!got) return;  // wait for the parent's broadcast
+  }
+  horizon_known_[v] = 1;
+  --barrier_pending_;
+  for (const VertexId c : children_[v]) {
+    mb.send(c, std::vector<Word>{kTagHorizon, horizon_[v]});
+  }
+}
+
+// --- Phase: status exchange ----------------------------------------------
+
+void ClusterProtocol::handle_status(sim::Mailbox& mb) {
+  const VertexId v = mb.self();
+  // One message to every neighbor: {tag, cluster center, horizon}. Dead
+  // neighbors simply ignore it.
+  mb.send_all(std::vector<Word>{kTagStatus, ccenter_[v], horizon_[v]});
+}
+
+// --- Phase: act (convergecast, decide, resolve) ---------------------------
+
+void ClusterProtocol::read_statuses(sim::Mailbox& mb) {
+  const VertexId v = mb.self();
+  statuses_read_[v] = 1;
+  if (!is_acting(v)) return;
+  // Extract (a) the best candidate edge into a *sampled* cluster and (b) the
+  // deduplicated local list of adjacent clusters for the DIE case.
+  for (const sim::Message& m : mb.inbox()) {
+    if (m.payload.empty() || m.payload[0] != kTagStatus) continue;
+    const auto their_center = static_cast<VertexId>(m.payload[1]);
+    const auto their_horizon = static_cast<std::uint32_t>(m.payload[2]);
+    if (their_center == ccenter_[v]) continue;  // same cluster
+    if (their_horizon > call_index_) {
+      // Sampled cluster: candidate for joining.
+      Candidate c{true, their_center, their_horizon, v, m.from};
+      if (!best_[v].has ||
+          std::tie(c.target_center, c.w) <
+              std::tie(best_[v].target_center, best_[v].w)) {
+        best_[v] = c;
+        winner_child_[v] = graph::kInvalidVertex;  // own candidate
+      }
+    }
+    // Adjacent-cluster entry (dedup within this vertex only; the global
+    // dedup happens during the convergecast).
+    if (seen_clusters_[v].insert(their_center).second) {
+      local_entries_[v].push_back(ListEntry{their_center, v, m.from});
+    }
+  }
+}
+
+void ClusterProtocol::send_candidate_up_or_decide(sim::Mailbox& mb) {
+  const VertexId v = mb.self();
+  if (vcenter_[v] == v) {
+    center_decide(mb);
+    return;
+  }
+  const Candidate& b = best_[v];
+  mb.send(p1_[v],
+          std::vector<Word>{kTagCand, b.has ? Word{1} : Word{0},
+                            b.target_center, b.target_horizon, b.v, b.w});
+}
+
+void ClusterProtocol::center_decide(sim::Mailbox& mb) {
+  const VertexId v = mb.self();
+  if (best_[v].has) {
+    // JOIN: select the winning edge, reroute p2 along the winning path.
+    const Candidate& b = best_[v];
+    out_->add_edge(b.v, b.w);
+    ++stats_.joins;
+    ccenter_[v] = b.target_center;
+    horizon_[v] = b.target_horizon;
+    p2_[v] = (b.v == v) ? b.w : winner_child_[v];
+    for (const VertexId c : children_[v]) {
+      const Word on_path = (winner_child_[v] == c && b.v != v) ? 1 : 0;
+      mb.send(c, std::vector<Word>{kTagJoin, b.target_center,
+                                   b.target_horizon, b.v, b.w, on_path});
+    }
+    --barrier_pending_;  // center resolved
+    return;
+  }
+  // DIE: command the group to stream its adjacency lists.
+  list_mode_[v] = 1;
+  for (const VertexId c : children_[v]) {
+    mb.send(c, std::vector<Word>{kTagDieCmd});
+  }
+  // The center's own entries are already deduplicated in seen_clusters_;
+  // record them directly.
+  for (const ListEntry& e : local_entries_[v]) {
+    out_->add_edge(e.v, e.w);
+  }
+  local_entries_[v].clear();
+  if (seen_clusters_[v].size() > abort_threshold_) abort_flag_[v] = 1;
+  center_try_finish(mb);
+}
+
+void ClusterProtocol::enqueue_entry(VertexId v, const ListEntry& entry) {
+  if (abort_flag_[v]) return;
+  if (!seen_clusters_[v].insert(entry.cluster).second) return;
+  list_queue_[v].push_back(entry);
+  if (seen_clusters_[v].size() > abort_threshold_) abort_flag_[v] = 1;
+}
+
+void ClusterProtocol::pump_list_queue(sim::Mailbox& mb) {
+  const VertexId v = mb.self();
+  if (list_done_sending_[v] || p1_[v] == graph::kInvalidVertex) return;
+  if (abort_flag_[v]) {
+    // Propagate the abort toward the center instead of more list traffic.
+    mb.send(p1_[v], std::vector<Word>{kTagAbortUp});
+    list_done_sending_[v] = 1;
+    return;
+  }
+  if (!list_queue_[v].empty()) {
+    std::vector<Word> payload{kTagList};
+    const std::size_t take =
+        std::min<std::size_t>(list_chunk_entries_, list_queue_[v].size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const ListEntry& e = list_queue_[v][i];
+      payload.push_back(e.cluster);
+      payload.push_back(e.v);
+      payload.push_back(e.w);
+    }
+    list_queue_[v].erase(list_queue_[v].begin(),
+                         list_queue_[v].begin() +
+                             static_cast<std::ptrdiff_t>(take));
+    mb.send(p1_[v], std::move(payload));
+    return;
+  }
+  if (list_wait_[v] == 0) {
+    mb.send(p1_[v], std::vector<Word>{kTagListEnd});
+    list_done_sending_[v] = 1;
+  }
+}
+
+void ClusterProtocol::center_try_finish(sim::Mailbox& mb) {
+  const VertexId v = mb.self();
+  if (!list_mode_[v]) return;
+  if (!abort_flag_[v] && list_wait_[v] > 0) return;
+  // Either every child's list drained or an abort short-circuits the wait.
+  const bool aborted = abort_flag_[v] != 0;
+  if (aborted) ++stats_.aborts;
+  for (const VertexId c : children_[v]) {
+    mb.send(c, std::vector<Word>{kTagFinish, aborted ? Word{1} : Word{0}});
+  }
+  finish_member(mb, aborted);
+  ++stats_.deaths;
+}
+
+void ClusterProtocol::finish_member(sim::Mailbox& mb, bool aborted) {
+  const VertexId v = mb.self();
+  if (aborted) {
+    for (const VertexId w : graph_.neighbors(v)) out_->add_edge(v, w);
+  }
+  alive_[v] = 0;
+  --alive_total_;
+  list_mode_[v] = 0;
+  --barrier_pending_;
+}
+
+void ClusterProtocol::handle_act(sim::Mailbox& mb) {
+  const VertexId v = mb.self();
+
+  // First activation of this phase: the STATUS messages are in the inbox.
+  if (!statuses_read_[v]) {
+    read_statuses(mb);
+    if (is_acting(v) && cand_wait_[v] == 0) {
+      send_candidate_up_or_decide(mb);
+    }
+    return;
+  }
+
+  if (!is_acting(v)) return;
+
+  bool fresh_cand = false;
+  bool finish_seen = false;
+  bool finish_aborted = false;
+  for (const sim::Message& m : mb.inbox()) {
+    if (m.payload.empty()) continue;
+    switch (m.payload[0]) {
+      case kTagCand: {
+        if (m.payload[1] == 1) {
+          Candidate c{true, static_cast<VertexId>(m.payload[2]),
+                      static_cast<std::uint32_t>(m.payload[3]),
+                      static_cast<VertexId>(m.payload[4]),
+                      static_cast<VertexId>(m.payload[5])};
+          if (!best_[v].has ||
+              std::tie(c.target_center, c.v, c.w) <
+                  std::tie(best_[v].target_center, best_[v].v, best_[v].w)) {
+            best_[v] = c;
+            winner_child_[v] = m.from;
+          }
+        }
+        --cand_wait_[v];
+        fresh_cand = true;
+        break;
+      }
+      case kTagJoin: {
+        const auto new_center = static_cast<VertexId>(m.payload[1]);
+        const auto new_horizon = static_cast<std::uint32_t>(m.payload[2]);
+        const auto vstar = static_cast<VertexId>(m.payload[3]);
+        const auto wstar = static_cast<VertexId>(m.payload[4]);
+        const bool on_path = m.payload[5] == 1;
+        ccenter_[v] = new_center;
+        horizon_[v] = new_horizon;
+        if (on_path && vstar == v) {
+          p2_[v] = wstar;
+        } else if (on_path) {
+          p2_[v] = winner_child_[v];
+        } else {
+          p2_[v] = p1_[v];
+        }
+        for (const VertexId c : children_[v]) {
+          const Word child_on_path =
+              (on_path && vstar != v && winner_child_[v] == c) ? 1 : 0;
+          mb.send(c, std::vector<Word>{kTagJoin, new_center, new_horizon,
+                                       vstar, wstar, child_on_path});
+        }
+        --barrier_pending_;
+        return;  // resolved; nothing else matters this call
+      }
+      case kTagDieCmd: {
+        list_mode_[v] = 1;
+        for (const VertexId c : children_[v]) {
+          mb.send(c, std::vector<Word>{kTagDieCmd});
+        }
+        // Local entries already deduplicated into seen_clusters_; queue them.
+        for (const ListEntry& e : local_entries_[v]) {
+          list_queue_[v].push_back(e);
+        }
+        local_entries_[v].clear();
+        if (seen_clusters_[v].size() > abort_threshold_) abort_flag_[v] = 1;
+        break;
+      }
+      case kTagList: {
+        for (std::size_t i = 1; i + 2 < m.payload.size(); i += 3) {
+          const ListEntry e{static_cast<VertexId>(m.payload[i]),
+                            static_cast<VertexId>(m.payload[i + 1]),
+                            static_cast<VertexId>(m.payload[i + 2])};
+          if (vcenter_[v] == v) {
+            // The center consumes entries directly.
+            if (seen_clusters_[v].insert(e.cluster).second) {
+              out_->add_edge(e.v, e.w);
+            }
+          } else {
+            enqueue_entry(v, e);
+          }
+        }
+        break;
+      }
+      case kTagListEnd: {
+        --list_wait_[v];
+        break;
+      }
+      case kTagAbortUp: {
+        abort_flag_[v] = 1;
+        if (vcenter_[v] != v && !list_done_sending_[v]) {
+          // forwarded by pump_list_queue below
+        }
+        break;
+      }
+      case kTagFinish: {
+        finish_seen = true;
+        finish_aborted = m.payload[1] == 1;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  if (finish_seen) {
+    for (const VertexId c : children_[v]) {
+      mb.send(c,
+              std::vector<Word>{kTagFinish, finish_aborted ? Word{1} : Word{0}});
+    }
+    finish_member(mb, finish_aborted);
+    return;
+  }
+
+  if (fresh_cand && cand_wait_[v] == 0 && !list_mode_[v]) {
+    send_candidate_up_or_decide(mb);
+    return;
+  }
+
+  if (list_mode_[v]) {
+    if (vcenter_[v] == v) {
+      center_try_finish(mb);
+    } else {
+      pump_list_queue(mb);
+    }
+  }
+}
+
+// --- Phase: contraction ----------------------------------------------------
+
+void ClusterProtocol::handle_contract(sim::Mailbox& mb) {
+  const VertexId v = mb.self();
+  if (phase_rounds_ == 1) {
+    // First contraction round: adopt the cluster tree as the new vertex tree
+    // and ping the new parent.
+    vcenter_[v] = ccenter_[v];
+    p1_[v] = p2_[v];
+    children_[v].clear();
+    if (p1_[v] != graph::kInvalidVertex) {
+      mb.send(p1_[v], std::vector<Word>{kTagParentPing});
+    }
+  } else {
+    for (const sim::Message& m : mb.inbox()) {
+      if (!m.payload.empty() && m.payload[0] == kTagParentPing) {
+        children_[v].push_back(m.from);
+      }
+    }
+  }
+}
+
+}  // namespace ultra::core

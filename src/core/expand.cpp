@@ -1,0 +1,129 @@
+#include "core/expand.h"
+
+#include <stdexcept>
+
+namespace ultra::core {
+
+ClusterState ClusterState::trivial(const Graph& g) {
+  ClusterState s;
+  s.g = &g;
+  const VertexId n = g.num_vertices();
+  s.alive.assign(n, 1);
+  s.cluster_of.resize(n);
+  for (VertexId v = 0; v < n; ++v) s.cluster_of[v] = v;
+  s.radius.assign(n, 0);
+  return s;
+}
+
+std::uint64_t ClusterState::num_alive() const {
+  std::uint64_t count = 0;
+  for (const auto a : alive) count += a;
+  return count;
+}
+
+std::vector<VertexId> ClusterState::live_cluster_ids() const {
+  std::vector<std::uint8_t> seen(alive.size(), 0);
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < alive.size(); ++v) {
+    if (alive[v] && !seen[cluster_of[v]]) {
+      seen[cluster_of[v]] = 1;
+      ids.push_back(cluster_of[v]);
+    }
+  }
+  return ids;
+}
+
+void ClusterState::check_valid() const {
+  for (VertexId v = 0; v < alive.size(); ++v) {
+    if (!alive[v]) continue;
+    const VertexId c = cluster_of[v];
+    if (c >= alive.size() || !alive[c] || cluster_of[c] != c) {
+      throw std::logic_error("ClusterState: vertex " + std::to_string(v) +
+                             " has invalid cluster " + std::to_string(c));
+    }
+  }
+}
+
+ExpandOutcome expand(ClusterState& state, double p, util::Rng& rng,
+                     const std::function<void(VertexId, VertexId)>& select_edge) {
+  const Graph& g = *state.g;
+  const VertexId n = g.num_vertices();
+  ExpandOutcome out;
+
+  // 1. Sample clusters. Iterate vertices in id order so the Bernoulli draws
+  //    are reproducible for a given seed.
+  std::vector<std::uint8_t> decided(n, 0);
+  std::vector<std::uint8_t> sampled(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!state.alive[v]) continue;
+    const VertexId c = state.cluster_of[v];
+    if (!decided[c]) {
+      decided[c] = 1;
+      ++out.clusters_before;
+      sampled[c] = rng.bernoulli(p) ? 1 : 0;
+      out.clusters_sampled += sampled[c];
+    }
+  }
+
+  // 2. Per-vertex moves, computed against the *old* clustering; applied
+  //    simultaneously afterwards.
+  std::vector<VertexId> new_cluster = state.cluster_of;
+  std::vector<VertexId> deaths;
+  std::vector<std::uint8_t> joined_any(n, 0);
+
+  // Scratch for per-vertex adjacent-cluster dedup.
+  std::vector<VertexId> stamp(n, graph::kInvalidVertex);
+  std::vector<std::pair<VertexId, VertexId>> adj;  // (cluster, witness nbr)
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (!state.alive[v]) continue;
+    const VertexId c0 = state.cluster_of[v];
+    if (sampled[c0]) continue;  // v's own cluster survives; nothing to do
+
+    adj.clear();
+    for (const VertexId w : g.neighbors(v)) {
+      if (!state.alive[w]) continue;
+      const VertexId c = state.cluster_of[w];
+      if (c == c0) continue;
+      if (stamp[c] != v) {
+        stamp[c] = v;
+        adj.emplace_back(c, w);
+      }
+    }
+
+    VertexId join_cluster = graph::kInvalidVertex;
+    VertexId join_witness = graph::kInvalidVertex;
+    for (const auto& [c, w] : adj) {
+      if (sampled[c]) {  // "some edge from v to C_i": first witness found
+        join_cluster = c;
+        join_witness = w;
+        break;
+      }
+    }
+
+    if (join_cluster != graph::kInvalidVertex) {
+      select_edge(v, join_witness);
+      ++out.edges_selected;
+      new_cluster[v] = join_cluster;
+      joined_any[join_cluster] = 1;
+      ++out.vertices_joined;
+    } else {
+      for (const auto& [c, w] : adj) {
+        select_edge(v, w);
+        ++out.edges_selected;
+      }
+      deaths.push_back(v);
+      ++out.vertices_died;
+    }
+  }
+
+  // 3. Apply moves and deaths; bump radii of clusters that absorbed vertices.
+  state.cluster_of = std::move(new_cluster);
+  for (const VertexId v : deaths) state.alive[v] = 0;
+  for (VertexId c = 0; c < n; ++c) {
+    if (joined_any[c]) ++state.radius[c];
+  }
+  return out;
+}
+
+}  // namespace ultra::core

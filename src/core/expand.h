@@ -1,0 +1,63 @@
+// The Expand procedure (Fig. 2 of the paper), operating on an explicit
+// clustering state so that unit tests can drive single calls.
+//
+// Expand(G_in, C_in, p):
+//   1. every cluster of C_in is sampled independently with probability p;
+//   2. a vertex v in cluster C_0, adjacent to clusters C_1..C_q:
+//        - if C_0 is sampled, v stays put and contributes nothing;
+//        - else if some adjacent C_i is sampled, v joins (one such) C_i and
+//          one edge from v to C_i enters the spanner        (line 4);
+//        - else v puts one edge to each of C_1..C_q in the spanner and is
+//          marked dead                                      (line 7).
+//   All joins happen simultaneously, so cluster radii grow by at most one
+//   per call. Selected edges are edges of the *working* graph; the caller
+//   maps them to original-graph edges through the contraction chain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ultra::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+// Clustering of a working graph. A cluster's id is the id of its center
+// vertex; `cluster_of[v]` is valid only while `alive[v]`.
+struct ClusterState {
+  const Graph* g = nullptr;
+  std::vector<std::uint8_t> alive;
+  std::vector<VertexId> cluster_of;
+  // Upper bound on each cluster's radius w.r.t. the working graph, indexed
+  // by cluster id (diagnostic; matches the j of Lemma 2).
+  std::vector<std::uint32_t> radius;
+
+  // The trivial complete clustering {{v} : v in V(g)}.
+  [[nodiscard]] static ClusterState trivial(const Graph& g);
+
+  [[nodiscard]] std::uint64_t num_alive() const;
+  [[nodiscard]] std::vector<VertexId> live_cluster_ids() const;
+
+  // Checks the invariants: every alive vertex belongs to a cluster whose
+  // center is alive and in the same cluster. Throws on violation.
+  void check_valid() const;
+};
+
+struct ExpandOutcome {
+  std::uint64_t clusters_before = 0;
+  std::uint64_t clusters_sampled = 0;
+  std::uint64_t vertices_joined = 0;
+  std::uint64_t vertices_died = 0;
+  std::uint64_t edges_selected = 0;
+};
+
+// One Expand call; `select_edge(u, v)` receives each selected working-graph
+// edge. Mutates `state` in place (C_in -> C_out, dead vertices cleared).
+ExpandOutcome expand(ClusterState& state, double p, util::Rng& rng,
+                     const std::function<void(VertexId, VertexId)>& select_edge);
+
+}  // namespace ultra::core

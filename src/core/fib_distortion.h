@@ -1,0 +1,49 @@
+// The distortion recurrences of Lemmas 9 and 10. C_ell^i bounds the spanner
+// distance across a complete i-segment of length ell^i; I_ell^i bounds the
+// detour to a V_{i+1} "hilltop" from the head of an incomplete segment:
+//
+//   I^0 = 1, I^1 = ell+1, C^0 = 1, C^1 = ell+2, and for i >= 2
+//   I^i = 2 I^{i-2} + I^{i-1} + ell^i + (ell-1) ell^{i-2}
+//   C^i = max( ell C^{i-1},
+//              (ell-1) C^{i-1} + 2 (I^{i-2} + I^{i-1}) + ell^{i-1} )
+//
+// Lemma 10's closed forms bound these by c_ell * ell^i with
+// c_ell = 3 + (6 ell - 2)/(ell (ell - 2)) and, in the second regime, by
+// ell^i + 2 c'_ell i ell^{i-1} with c'_ell = 1 + (2 ell + 1)/((ell+1)(ell-2)).
+// The predicted multiplicative distortion at distance ell^i is C^i / ell^i —
+// the quantity the fib_stages bench plots against measurements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ultra::core {
+
+struct FibRecurrences {
+  std::vector<std::uint64_t> C;  // C_ell^i for i = 0..order (saturating)
+  std::vector<std::uint64_t> I;  // I_ell^i
+};
+
+// Exact recurrences of Lemma 9, saturating at uint64 max.
+[[nodiscard]] FibRecurrences fib_recurrences(std::uint32_t ell,
+                                             unsigned order);
+
+// Lemma 10 closed-form upper bounds (as doubles; may overflow to inf for
+// huge i, which is fine for plotting).
+[[nodiscard]] double fib_c_closed(std::uint32_t ell, unsigned i);
+[[nodiscard]] double fib_i_closed(std::uint32_t ell, unsigned i);
+
+// Predicted multiplicative stretch of a complete i-segment: C^i / ell^i.
+// Theorem 7's stage values: 2^{o+1} at d=1, 3(o+1) at d=2^o,
+// 3 + (6l-2)/(l(l-2)) at d = l^o, and -> 1 + eps at d = (3o/eps)^o.
+[[nodiscard]] double fib_predicted_stretch(std::uint32_t ell, unsigned i);
+
+// The Theorem 7 / Corollary 1 per-pair bound: for vertices at distance d in
+// G, dist_S <= this value (deterministically, for any level assignment with
+// V_{order+1} = ∅ — every o-segment is complete because Lemma 10's bound on
+// I^o is vacuous). Rounds d up to lambda^order with lambda = ceil(d^{1/o});
+// distances beyond (ell-2)^order are chopped into pieces (Corollary 1).
+[[nodiscard]] std::uint64_t fib_pair_bound(std::uint32_t ell, unsigned order,
+                                           std::uint64_t d);
+
+}  // namespace ultra::core

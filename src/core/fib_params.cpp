@@ -1,0 +1,114 @@
+#include "core/fib_params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ultra::core {
+
+using util::fibonacci;
+using util::kGoldenRatio;
+
+FibonacciLevels FibonacciLevels::plan(std::uint64_t n,
+                                      const FibonacciParams& params) {
+  if (params.order < 1) {
+    throw std::invalid_argument("FibonacciLevels: order must be >= 1");
+  }
+  if (n < 2) {
+    FibonacciLevels out;
+    out.order = 1;
+    out.ell = 2;
+    out.q = {1.0, 0.5};
+    return out;
+  }
+  FibonacciLevels out;
+  const unsigned o = params.order;
+  out.ell = params.ell != 0
+                ? params.ell
+                : static_cast<std::uint32_t>(
+                      std::ceil(3.0 * o / params.eps)) + 2;
+  const double log2n = std::log2(static_cast<double>(n));
+  const double log2ell = std::log2(static_cast<double>(out.ell));
+  const double alpha =
+      1.0 / (static_cast<double>(fibonacci(o + 3)) - 1.0);
+
+  // Raw probabilities from Lemma 8.
+  out.q.assign(1, 1.0);
+  for (unsigned i = 1; i <= o; ++i) {
+    const double fi = static_cast<double>(fibonacci(i + 2)) - 1.0;  // f_i = g_i
+    const double hi =
+        static_cast<double>(fibonacci(i + 3)) - (static_cast<double>(i) + 2.0);
+    const double log2q =
+        -fi * alpha * log2n + (-fi * kGoldenRatio + hi) * log2ell;
+    double qi = std::exp2(log2q);
+    qi = std::clamp(qi, 1.0 / static_cast<double>(n), 1.0);
+    qi = std::min(qi, out.q.back());  // enforce monotone nesting
+    out.q.push_back(qi);
+  }
+
+  // Section 4.4 message-size adjustment: consecutive probabilities may differ
+  // by at most a factor n^{1/t}; re-space from the first violation, which
+  // grows the order by at most t.
+  if (params.message_t > 0.0) {
+    const double ratio_cap = std::pow(static_cast<double>(n),
+                                      1.0 / params.message_t);
+    std::size_t first_bad = out.q.size();
+    for (std::size_t i = 0; i + 1 < out.q.size(); ++i) {
+      if (out.q[i] / out.q[i + 1] > ratio_cap * (1.0 + 1e-12)) {
+        first_bad = i + 1;
+        break;
+      }
+    }
+    if (first_bad < out.q.size()) {
+      const double q_target = out.q.back();
+      out.q.resize(first_bad);
+      // Extend with ratio exactly n^{1/t} until we reach the original
+      // deepest probability (or the 1/n floor).
+      while (out.q.back() > std::max(q_target, 1.0 / static_cast<double>(n)) *
+                                 (1.0 + 1e-12)) {
+        out.q.push_back(std::max(out.q.back() / ratio_cap,
+                                 1.0 / static_cast<double>(n)));
+      }
+    }
+  }
+
+  // Drop levels expected to be empty (q_i * n < 1): they would make V_i = ∅
+  // with high probability and only waste construction rounds.
+  while (out.q.size() > 2 &&
+         out.q.back() * static_cast<double>(n) < 1.0) {
+    out.q.pop_back();
+  }
+
+  out.order = static_cast<unsigned>(out.q.size() - 1);
+  out.expected_level_size =
+      std::pow(static_cast<double>(n), 1.0 + alpha) *
+      std::pow(static_cast<double>(out.ell), kGoldenRatio);
+  return out;
+}
+
+std::uint32_t FibonacciLevels::radius(unsigned i) const {
+  // ell^i, saturating at 2^31 (no unweighted distance exceeds n <= 2^32).
+  std::uint64_t r = 1;
+  for (unsigned k = 0; k < i; ++k) {
+    r *= ell;
+    if (r >= (std::uint64_t{1} << 31)) return std::uint32_t{1} << 31;
+  }
+  return static_cast<std::uint32_t>(r);
+}
+
+std::vector<unsigned> FibonacciLevels::sample_levels(graph::VertexId n,
+                                                     util::Rng& rng) const {
+  std::vector<unsigned> level(n, 0);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    unsigned lvl = 0;
+    for (unsigned i = 1; i <= order; ++i) {
+      const double conditional = q[i] / q[i - 1];
+      if (!rng.bernoulli(conditional)) break;
+      lvl = i;
+    }
+    level[v] = lvl;
+  }
+  return level;
+}
+
+}  // namespace ultra::core

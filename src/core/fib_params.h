@@ -1,0 +1,61 @@
+// Parameters and sampling-probability planning for Fibonacci spanners
+// (Section 4). The level hierarchy V = V_0 ⊇ V_1 ⊇ ... ⊇ V_o ⊇ V_{o+1} = ∅
+// is sampled with probabilities
+//
+//   q_i = n^{-f_i a} * ell^{-g_i phi + h_i}
+//
+// where f_i = g_i = F_{i+2} - 1 and h_i = F_{i+3} - (i+2) solve the
+// Fibonacci-like recurrences of Lemma 8, a = 1/(F_{o+3} - 1) and phi is the
+// golden ratio. This choice balances the expected sizes of S_0..S_o at
+// n + n^{1+a} ell^phi each.
+//
+// Section 4.4's message-size adjustment: if messages are capped at n^{1/t}
+// words, consecutive probabilities may differ by at most a factor n^{1/t};
+// levels are re-spaced from the first violation on, growing the order by at
+// most t.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/fibonacci.h"
+#include "util/rng.h"
+
+namespace ultra::core {
+
+struct FibonacciParams {
+  unsigned order = 3;   // o in [1, log_phi log n]
+  double eps = 0.5;     // epsilon of the (1+eps, beta) regime
+  std::uint32_t ell = 0;  // ball-radius base; 0 = auto (3*order/eps + 2)
+  // Message-length budget for the distributed construction: messages of
+  // ceil(n^{1/message_t}) words. 0 = unbounded (sequential / LOCAL model).
+  double message_t = 0.0;
+  // If nonzero, overrides the cap computed from message_t (used to study the
+  // protocol exactly at the analyzed threshold 4 (q_i/q_{i+1}) ln n).
+  std::uint64_t message_cap_override = 0;
+  std::uint64_t seed = 1;
+};
+
+struct FibonacciLevels {
+  unsigned order = 0;       // effective order (may exceed params.order by <= t)
+  std::uint32_t ell = 0;
+  // q[i] for i = 0..order; q[0] = 1. (V_{order+1} is empty by definition.)
+  std::vector<double> q;
+
+  // Expected |S_i| balance point n^{1 + 1/(F_{o+3}-1)} * ell^phi (Lemma 8).
+  double expected_level_size = 0.0;
+
+  [[nodiscard]] static FibonacciLevels plan(std::uint64_t n,
+                                            const FibonacciParams& params);
+
+  // Saturating ell^i, capped at 2^32 (any radius >= n is effectively
+  // unbounded for an n-vertex graph).
+  [[nodiscard]] std::uint32_t radius(unsigned i) const;
+
+  // Sample level_of[v] = max { i : v in V_i } for every vertex.
+  [[nodiscard]] std::vector<unsigned> sample_levels(graph::VertexId n,
+                                                    util::Rng& rng) const;
+};
+
+}  // namespace ultra::core

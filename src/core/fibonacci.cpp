@@ -1,0 +1,152 @@
+#include "core/fibonacci.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/bfs.h"
+#include "util/rng.h"
+
+namespace ultra::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+namespace {
+
+// Reusable truncated-BFS scratch with epoch stamping (avoids O(n) clears for
+// the many small per-vertex ball searches).
+struct BallScratch {
+  std::vector<std::uint32_t> epoch;
+  std::vector<std::uint32_t> dist;
+  std::vector<VertexId> parent;
+  std::vector<std::uint32_t> walk_epoch;
+  std::uint32_t now = 0;
+
+  explicit BallScratch(VertexId n)
+      : epoch(n, 0), dist(n, 0), parent(n, 0), walk_epoch(n, 0) {}
+
+  void next() { ++now; }
+  [[nodiscard]] bool seen(VertexId v) const { return epoch[v] == now; }
+  void visit(VertexId v, std::uint32_t d, VertexId p) {
+    epoch[v] = now;
+    dist[v] = d;
+    parent[v] = p;
+  }
+};
+
+}  // namespace
+
+FibonacciResult build_fibonacci_with_levels(
+    const Graph& g, const FibonacciLevels& levels,
+    const std::vector<unsigned>& level_of) {
+  const VertexId n = g.num_vertices();
+  FibonacciResult result{spanner::Spanner(g), FibonacciStats{}};
+  FibonacciStats& stats = result.stats;
+  stats.levels = levels;
+  const unsigned o = levels.order;
+
+  stats.level_sizes.assign(o + 1, 0);
+  stats.parent_edges.assign(o + 1, 0);
+  stats.ball_edges.assign(o + 1, 0);
+  stats.ball_total.assign(o + 1, 0);
+  stats.predicted_size = static_cast<double>(o) * n +
+                         (o + 1.0) * levels.expected_level_size;
+
+  std::vector<std::vector<VertexId>> level_sets(o + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (unsigned i = 0; i <= std::min(level_of[v], o); ++i) {
+      level_sets[i].push_back(v);
+    }
+  }
+  for (unsigned i = 0; i <= o; ++i) {
+    stats.level_sizes[i] = level_sets[i].size();
+  }
+
+  // Per level k in [1, o]: one multi-source BFS from V_k truncated at
+  // ell^{k-1}. It yields (a) the parent forests P(v, p_k(v)) for
+  // d(v, p_k(v)) <= ell^{k-1}, and (b) the B_{k, ell} limiter distances
+  // d(v, V_k) needed when building S_{k-1} (same truncation: ell^{(k-1)+0}).
+  std::vector<std::vector<std::uint32_t>> level_dist(o + 2);
+  for (unsigned k = 1; k <= o; ++k) {
+    const std::uint32_t r = levels.radius(k - 1);
+    const auto ms = graph::multi_source_bfs(g, level_sets[k], r);
+    for (VertexId v = 0; v < n; ++v) {
+      if (ms.dist[v] != graph::kUnreachable && ms.dist[v] >= 1) {
+        result.spanner.add_edge(v, ms.parent[v]);
+        ++stats.parent_edges[k];
+      }
+    }
+    level_dist[k] = std::move(ms.dist);
+  }
+  // V_{o+1} = ∅: distance identically unreachable.
+  level_dist[o + 1].assign(n, graph::kUnreachable);
+
+  // S_0: every v with d(v, V_1) > 1 keeps all incident edges
+  // (B_{1,ell}(v) = neighbors closer than V_1, radius ell^0 = 1).
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t d1 = level_dist[1][v];
+    if (d1 == graph::kUnreachable || d1 > 1) {
+      result.spanner.add_all_incident(v);
+      stats.ball_edges[0] += g.degree(v);
+      stats.ball_total[0] += g.degree(v);
+    }
+  }
+
+  // S_i for i in [1, o]: for each v ∈ V_{i-1}, a truncated BFS collects
+  // B_{i+1,ell}(v) ⊆ V_i and the BFS-tree paths to its members.
+  BallScratch scratch(n);
+  std::deque<VertexId> queue;
+  for (unsigned i = 1; i <= o; ++i) {
+    const std::uint32_t max_r = levels.radius(i);
+    const auto& limiter = level_dist[i + 1];  // d(v, V_{i+1}), trunc ell^i
+    for (const VertexId v : level_sets[i - 1]) {
+      std::uint32_t r_v = max_r;
+      if (limiter[v] != graph::kUnreachable) {
+        if (limiter[v] == 0) continue;  // v ∈ V_{i+1}: empty ball
+        r_v = std::min(r_v, limiter[v] - 1);
+      }
+      scratch.next();
+      scratch.visit(v, 0, graph::kInvalidVertex);
+      queue.clear();
+      queue.push_back(v);
+      std::vector<VertexId> targets;
+      while (!queue.empty()) {
+        const VertexId x = queue.front();
+        queue.pop_front();
+        if (scratch.dist[x] >= r_v) continue;
+        for (const VertexId w : g.neighbors(x)) {
+          if (scratch.seen(w)) continue;
+          scratch.visit(w, scratch.dist[x] + 1, x);
+          queue.push_back(w);
+          if (level_of[w] >= i) targets.push_back(w);
+        }
+      }
+      stats.ball_total[i] += targets.size();
+      // Add the BFS-tree path from each target back to v; stop a walk early
+      // when it merges with an already-walked path of this ball.
+      for (const VertexId u : targets) {
+        VertexId x = u;
+        while (x != v && scratch.walk_epoch[x] != scratch.now) {
+          scratch.walk_epoch[x] = scratch.now;
+          result.spanner.add_edge(x, scratch.parent[x]);
+          ++stats.ball_edges[i];
+          x = scratch.parent[x];
+        }
+      }
+    }
+  }
+
+  stats.spanner_size = result.spanner.size();
+  return result;
+}
+
+FibonacciResult build_fibonacci(const Graph& g,
+                                const FibonacciParams& params) {
+  util::Rng rng(params.seed);
+  const FibonacciLevels levels =
+      FibonacciLevels::plan(g.num_vertices(), params);
+  const auto level_of = levels.sample_levels(g.num_vertices(), rng);
+  return build_fibonacci_with_levels(g, levels, level_of);
+}
+
+}  // namespace ultra::core

@@ -1,0 +1,50 @@
+// Sequential construction of Fibonacci spanners (Section 4).
+//
+// Given the level hierarchy V_0 ⊇ ... ⊇ V_o (V_{o+1} = ∅), the spanner is
+//
+//   S_0 = ⋃ { P(v,u) : v ∈ V, u ∈ B_{1,ell}(v) }
+//   S_i = ⋃ { P(v,u) : v ∈ V_{i-1}, u ∈ B_{i+1,ell}(v) }
+//       ∪ ⋃ { P(v, p_i(v)) : v ∈ V, d(v, p_i(v)) <= ell^{i-1} }
+//
+// where B_{i+1,ell}(v) = { u ∈ V_i : d(v,u) <= ell^i and
+// d(v,u) < d(v, V_{i+1}) } and p_i(v) is the nearest (min-id tie-broken)
+// V_i-vertex. Guarantees (Theorem 7): expected size
+// O((o/eps)^phi * n^{1 + 1/(F_{o+3}-1)}) and distance-sensitive distortion
+// in four stages, tending to 1 + eps for d >= (3o/eps)^o.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fib_params.h"
+#include "graph/graph.h"
+#include "spanner/spanner.h"
+
+namespace ultra::core {
+
+struct FibonacciStats {
+  FibonacciLevels levels;
+  std::vector<std::uint64_t> level_sizes;   // |V_i| for i = 0..order
+  std::vector<std::uint64_t> parent_edges;  // forest edges added per level i
+  std::vector<std::uint64_t> ball_edges;    // S_i ball-path edges per level i
+  std::vector<std::uint64_t> ball_total;    // sum of |B_{i+1,ell}(v)| per level
+  std::uint64_t spanner_size = 0;
+  double predicted_size = 0.0;  // (order+1) * expected_level_size, Lemma 8
+};
+
+struct FibonacciResult {
+  spanner::Spanner spanner;
+  FibonacciStats stats;
+};
+
+[[nodiscard]] FibonacciResult build_fibonacci(const graph::Graph& g,
+                                              const FibonacciParams& params);
+
+// As above, with externally fixed levels (used by tests and by the
+// distributed-vs-sequential equivalence checks: both constructions fed the
+// same level sample must produce identical spanners).
+[[nodiscard]] FibonacciResult build_fibonacci_with_levels(
+    const graph::Graph& g, const FibonacciLevels& levels,
+    const std::vector<unsigned>& level_of);
+
+}  // namespace ultra::core

@@ -1,0 +1,159 @@
+#include "core/fibonacci_distributed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ball_broadcast.h"
+#include "graph/bfs.h"
+#include "sim/flood.h"
+#include "util/rng.h"
+
+namespace ultra::core {
+
+using graph::VertexId;
+
+namespace {
+
+void accumulate(sim::Metrics& total, const sim::Metrics& part) {
+  total.rounds += part.rounds;
+  total.messages += part.messages;
+  total.total_words += part.total_words;
+  total.max_message_words =
+      std::max(total.max_message_words, part.max_message_words);
+}
+
+}  // namespace
+
+DistributedFibonacciResult build_fibonacci_distributed(
+    const graph::Graph& g, const FibonacciParams& params) {
+  const VertexId n = g.num_vertices();
+  DistributedFibonacciResult result{spanner::Spanner(g), {}, {}, {}, 0};
+  result.levels = FibonacciLevels::plan(n, params);
+  const FibonacciLevels& lv = result.levels;
+  const unsigned o = lv.order;
+
+  if (params.message_cap_override > 0) {
+    result.message_cap_words = params.message_cap_override;
+  } else if (params.message_t > 0) {
+    result.message_cap_words = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(std::pow(
+               static_cast<double>(std::max<VertexId>(n, 2)),
+               1.0 / params.message_t))));
+  } else {
+    result.message_cap_words = sim::kUnboundedMessages;
+  }
+
+  util::Rng rng(params.seed);
+  const auto level_of = lv.sample_levels(n, rng);
+  std::vector<std::vector<std::uint8_t>> level_mask(o + 2);
+  result.stats.level_sizes.assign(o + 1, 0);
+  for (unsigned i = 0; i <= o + 1; ++i) level_mask[i].assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (unsigned i = 0; i <= std::min(level_of[v], o); ++i) {
+      level_mask[i][v] = 1;
+      ++result.stats.level_sizes[i];
+    }
+  }
+
+  // --- Stage 1: per-level truncated min-id floods (unit messages).
+  // level_dist[i] = d(v, V_i) truncated at ell^{i-1} (kUnreachable beyond),
+  // which also serves as the B_{i+1} limiter when building S_{i-1}.
+  std::vector<std::vector<std::uint32_t>> level_dist(o + 2);
+  level_dist[o + 1].assign(n, graph::kUnreachable);
+  for (unsigned i = 1; i <= o; ++i) {
+    const std::uint32_t radius = lv.radius(i - 1);
+    sim::Network net(g, 1);  // unit-length messages suffice for stage 1
+    sim::TruncatedMinIdFlood flood(level_mask[i], radius);
+    const sim::Metrics m = net.run(flood, radius + 4);
+    accumulate(result.network, m);
+    result.stats.stage1_rounds += m.rounds;
+    for (VertexId v = 0; v < n; ++v) {
+      if (flood.dist()[v] != graph::kUnreachable && flood.dist()[v] >= 1) {
+        result.spanner.add_edge(v, flood.parent()[v]);
+      }
+    }
+    level_dist[i] = flood.dist();
+  }
+
+  // --- S_0: all edges of vertices with d(v, V_1) > 1 (local decision).
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t d1 = o >= 1 ? level_dist[1][v] : graph::kUnreachable;
+    if (d1 == graph::kUnreachable || d1 > 1) {
+      result.spanner.add_all_incident(v);
+    }
+  }
+
+  // --- Stage 2 per level: capped ball broadcast + path marking + repair.
+  for (unsigned i = 1; i <= o; ++i) {
+    const std::uint32_t radius = lv.radius(i);
+    sim::Network net(g, result.message_cap_words);
+    sim::BallBroadcast bc(level_mask[i], radius);
+    const sim::Metrics m = net.run(bc, radius + 4);
+    accumulate(result.network, m);
+    result.stats.stage2_rounds += m.rounds;
+    result.stats.ceased_nodes += bc.ceased().size();
+
+    // Reverse path marking: walk next-hop pointers from each x ∈ V_{i-1} to
+    // each ball member. Tokens would retrace the broadcast; charge one
+    // radius' worth of rounds for the pipelined marking pass.
+    result.network.rounds += radius;
+    result.stats.marking_rounds += radius;
+
+    const auto& limiter = level_dist[i + 1];
+    for (VertexId x = 0; x < n; ++x) {
+      if (!level_mask[i - 1][x]) continue;
+      std::uint32_t r_x = radius;
+      if (limiter[x] != graph::kUnreachable) {
+        if (limiter[x] == 0) continue;
+        r_x = std::min(r_x, limiter[x] - 1);
+      }
+      for (const auto& [y, info] : bc.known()[x]) {
+        if (info.dist == 0 || info.dist > r_x) continue;
+        // Walk toward y through per-node pointers.
+        VertexId cur = x;
+        std::uint32_t steps = 0;
+        while (cur != y && steps <= radius) {
+          const auto it = bc.known()[cur].find(y);
+          if (it == bc.known()[cur].end()) break;  // interrupted by cessation
+          const VertexId next = it->second.parent;
+          if (next == graph::kInvalidVertex) break;
+          result.spanner.add_edge(cur, next);
+          cur = next;
+          ++steps;
+        }
+      }
+    }
+
+    // Las Vegas repair: cessation floods + failure reaction.
+    if (!bc.ceased().empty()) {
+      result.network.rounds += radius + bc.ceased().size();
+      result.stats.repair_rounds += radius + bc.ceased().size();
+      for (const auto& [z, step] : bc.ceased()) {
+        const auto dz = graph::bfs_distances(g, z, radius);
+        for (VertexId x = 0; x < n; ++x) {
+          if (!level_mask[i - 1][x] || dz[x] == graph::kUnreachable) continue;
+          const std::uint32_t lim =
+              limiter[x] == graph::kUnreachable ? radius + 1 : limiter[x];
+          if (dz[x] + step < lim) {
+            ++result.stats.failures_detected;
+            // x commands all vertices within ell^i to keep all edges.
+            result.network.rounds += radius;
+            result.stats.repair_rounds += radius;
+            for (const VertexId u : graph::ball(g, x, radius)) {
+              for (const VertexId w : g.neighbors(u)) {
+                if (!result.spanner.contains(u, w)) {
+                  result.spanner.add_edge(u, w);
+                  ++result.stats.repair_edges;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace ultra::core

@@ -1,0 +1,151 @@
+#include "core/schedule.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ultra::core {
+
+using util::kSaturated;
+using util::sat_add;
+using util::sat_mul;
+using util::sat_pow;
+
+std::uint64_t tower_s(std::uint64_t D, unsigned i) {
+  if (i <= 1) return D;
+  std::uint64_t s = D;
+  for (unsigned k = 2; k <= i; ++k) {
+    if (s == kSaturated) return kSaturated;
+    s = sat_pow(s, s);
+  }
+  return s;
+}
+
+namespace {
+
+// Radius after j more Expand calls on clusters of current radius r:
+// r_{i,j} = j (2 r_i + 1) + r_i  (Lemma 2, part 2), saturating.
+std::uint64_t radius_after(std::uint64_t r, std::uint64_t j) {
+  return sat_add(sat_mul(j, sat_add(sat_mul(2, r), 1)), r);
+}
+
+// Dead-vertex distortion bound for a death in call (j+1) of a round whose
+// clusters started at radius r: (2j+2)(2r+1) - 1  (Lemma 4, part 1).
+std::uint64_t death_distortion(std::uint64_t r, std::uint64_t j) {
+  const std::uint64_t v =
+      sat_mul(sat_add(sat_mul(2, j), 2), sat_add(sat_mul(2, r), 1));
+  return v == kSaturated ? v : v - 1;
+}
+
+}  // namespace
+
+SkeletonSchedule plan_schedule(std::uint64_t n, const SkeletonParams& params) {
+  SkeletonSchedule plan;
+  if (n < 4) {
+    // Degenerate inputs: a single kill-all call suffices (at most a triangle;
+    // every edge enters the spanner in line 7 of Expand).
+    RoundPlan r;
+    r.probs.push_back(0.0);
+    plan.rounds.push_back(std::move(r));
+    plan.total_expand_calls = 1;
+    plan.distortion_bound = 1;
+    plan.message_cap_words = 1;
+    plan.density_threshold = 1;
+    plan.expected_final_density = static_cast<double>(n);
+    return plan;
+  }
+
+  const double logn = std::log2(static_cast<double>(n));
+  const double cap = std::pow(logn, params.eps);
+  const double threshold = cap * std::log2(std::max(cap, 2.0));
+  if (params.D < 4) {
+    throw std::invalid_argument("plan_schedule: D must be >= 4 (Lemma 6)");
+  }
+  if (static_cast<double>(params.D) > cap) {
+    throw std::invalid_argument(
+        "plan_schedule: D = " + std::to_string(params.D) +
+        " exceeds the message cap log^eps n = " + std::to_string(cap) +
+        " (Theorem 2 requires D <= log^eps n)");
+  }
+  plan.message_cap_words = cap;
+  plan.density_threshold = threshold;
+
+  double density = 1.0;
+  std::uint64_t radius = 0;            // r_i at the start of the current round
+  std::uint64_t worst_distortion = 0;
+
+  auto close_round = [&](RoundPlan&& round) {
+    if (round.probs.empty()) return;
+    const auto calls = static_cast<std::uint64_t>(round.probs.size());
+    worst_distortion =
+        std::max(worst_distortion, death_distortion(radius, calls - 1));
+    radius = radius_after(radius, calls);
+    plan.total_expand_calls += static_cast<std::uint32_t>(calls);
+    plan.rounds.push_back(std::move(round));
+  };
+
+  // Round 1 (paper index i = 0): one Expand call with p = 1/s_0 = 1/D.
+  {
+    RoundPlan r;
+    r.s = params.D;
+    r.probs.push_back(1.0 / static_cast<double>(params.D));
+    density *= static_cast<double>(params.D);
+    close_round(std::move(r));
+  }
+
+  // Tower rounds i >= 1: s_i + 1 calls with p = 1/s_i, truncated at the
+  // first (i*, j*) where the expected nominal density crosses the threshold.
+  bool crossed = density > threshold;
+  for (unsigned i = 1; !crossed; ++i) {
+    const std::uint64_t s = tower_s(params.D, i);
+    RoundPlan r;
+    r.s = s;
+    const std::uint64_t calls =
+        s == kSaturated ? kSaturated : sat_add(s, 1);
+    for (std::uint64_t j = 0; j < calls; ++j) {
+      r.probs.push_back(1.0 / static_cast<double>(s));
+      density *= static_cast<double>(s);
+      if (density > threshold || density >= static_cast<double>(n)) {
+        crossed = true;
+        break;
+      }
+    }
+    close_round(std::move(r));
+  }
+
+  // Theorem 2 tail, round i*+2: amplify density to at least log n with
+  // sampling probability (log n)^{-eps}.
+  const double p_tail = 1.0 / cap;
+  if (density < logn) {
+    const auto j2 = static_cast<std::uint64_t>(
+        std::ceil((std::log2(logn) - std::log2(density)) / std::log2(cap)));
+    RoundPlan r;
+    for (std::uint64_t j = 0; j < j2; ++j) {
+      r.probs.push_back(p_tail);
+      density *= cap;
+    }
+    close_round(std::move(r));
+  }
+
+  // Final round i*+3: amplify to density >= n, then kill every survivor with
+  // a forced p = 0 call.
+  {
+    RoundPlan r;
+    if (density < static_cast<double>(n)) {
+      const auto j3 = static_cast<std::uint64_t>(std::ceil(
+          (logn - std::log2(density)) / std::log2(cap)));
+      for (std::uint64_t j = 0; j < j3; ++j) {
+        r.probs.push_back(p_tail);
+        density *= cap;
+      }
+    }
+    r.probs.push_back(0.0);
+    close_round(std::move(r));
+  }
+
+  plan.expected_final_density = density;
+  plan.distortion_bound = worst_distortion;
+  return plan;
+}
+
+}  // namespace ultra::core

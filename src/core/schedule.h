@@ -1,0 +1,61 @@
+// The tower sequence s_i and the round/iteration schedule of the Section 2
+// algorithm (Theorem 2).
+//
+// The sequence: s_0 = s_1 = D, s_i = s_{i-1}^{s_{i-1}} (Lemma 1). It grows as
+// an exponential tower, so values saturate uint64 almost immediately; the
+// algorithm only needs s_i until the expected nominal density crosses the
+// Theorem 2 threshold, after which the schedule switches to two final rounds
+// with sampling probability (log n)^{-eps}.
+//
+// A schedule is a list of rounds; each round is a list of Expand sampling
+// probabilities (the last call of the last round has p = 0, killing every
+// surviving vertex). Clusters are contracted between rounds. The schedule is
+// a pure function of (n, D, eps) — the paper relies on this so that every
+// processor can precompute all sampling decisions locally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/saturating.h"
+
+namespace ultra::core {
+
+// s_i with saturating arithmetic (util::kSaturated once the tower explodes).
+[[nodiscard]] std::uint64_t tower_s(std::uint64_t D, unsigned i);
+
+struct RoundPlan {
+  // Sampling probability for each Expand call in this round, in order.
+  std::vector<double> probs;
+  // The s_i that drives this round (0 for the two Theorem-2 tail rounds).
+  std::uint64_t s = 0;
+};
+
+struct SkeletonSchedule {
+  std::vector<RoundPlan> rounds;
+
+  // Diagnostics / predictions.
+  double message_cap_words = 0;   // log(n)^eps, the cap used by Theorem 2
+  double density_threshold = 0;   // log^eps(n) * log(log^eps(n))
+  double expected_final_density = 0;
+  std::uint32_t total_expand_calls = 0;
+
+  // The exact distortion bound implied by Lemma 4 along this schedule: the
+  // max over every (round, call) of the dead-vertex distortion
+  // (2j+2)(2 r_i + 1) - 1, tracking radii by r_{i,j} = j(2 r_i + 1) + r_i.
+  std::uint64_t distortion_bound = 0;
+};
+
+struct SkeletonParams {
+  std::uint64_t D = 4;    // density knob; expected spanner size ~ Dn/e (D >= 4)
+  double eps = 1.0;       // message-length exponent: cap = (log2 n)^eps words
+  std::uint64_t seed = 1; // randomness seed
+};
+
+// Build the Theorem 2 schedule for an n-vertex graph. Throws
+// std::invalid_argument if D < 4 or D exceeds the message cap (the paper
+// requires D <= log^eps n).
+[[nodiscard]] SkeletonSchedule plan_schedule(std::uint64_t n,
+                                             const SkeletonParams& params);
+
+}  // namespace ultra::core

@@ -1,0 +1,79 @@
+#include "core/skeleton.h"
+
+#include <cmath>
+
+#include "core/expand.h"
+#include "graph/contraction.h"
+#include "util/rng.h"
+
+namespace ultra::core {
+
+double predicted_skeleton_size(std::uint64_t n, std::uint64_t D) {
+  // Lemma 6's exact accounting: n(D/e + 1 - 2/e + (1 + 1/D)(ln(D+2) - zeta
+  // + 1) + (ln D + 0.2)/D), zeta = ln 2 - 1/e.
+  const double zeta = std::log(2.0) - 1.0 / std::exp(1.0);
+  const double d = static_cast<double>(D);
+  const double per_vertex = d / std::exp(1.0) + 1.0 - 2.0 / std::exp(1.0) +
+                            (1.0 + 1.0 / d) * (std::log(d + 2.0) - zeta + 1.0) +
+                            (std::log(d) + 0.2) / d;
+  return per_vertex * static_cast<double>(n);
+}
+
+SkeletonResult build_skeleton(const graph::Graph& g,
+                              const SkeletonParams& params) {
+  const graph::VertexId n = g.num_vertices();
+  SkeletonResult result{spanner::Spanner(g), SkeletonStats{}};
+  result.stats.schedule = plan_schedule(n, params);
+  result.stats.predicted_size = predicted_skeleton_size(n, params.D);
+  util::Rng rng(params.seed);
+
+  // The contraction chain. Initially the working graph is g itself and every
+  // working edge represents itself.
+  graph::ContractedGraph cur;
+  cur.graph = g;
+  cur.representative.assign(g.edges().begin(), g.edges().end());
+
+  for (const RoundPlan& round : result.stats.schedule.rounds) {
+    if (cur.graph.num_vertices() == 0) break;
+    RoundTrace trace;
+    trace.working_vertices = cur.graph.num_vertices();
+    trace.working_edges = cur.graph.num_edges();
+
+    ClusterState state = ClusterState::trivial(cur.graph);
+    auto select = [&](graph::VertexId a, graph::VertexId b) {
+      result.spanner.add_edge(cur.representative_of(a, b));
+    };
+    for (const double p : round.probs) {
+      const ExpandOutcome out = expand(state, p, rng, select);
+      ++trace.expand_calls;
+      trace.edges_selected += out.edges_selected;
+      trace.died += out.vertices_died;
+    }
+
+    // Contract the final clustering of the round; dead vertices vanish.
+    std::vector<std::uint32_t> part(cur.graph.num_vertices(),
+                                    graph::kDroppedVertex);
+    std::vector<std::uint32_t> dense_id(cur.graph.num_vertices(),
+                                        graph::kDroppedVertex);
+    std::uint32_t num_clusters = 0;
+    for (graph::VertexId v = 0; v < cur.graph.num_vertices(); ++v) {
+      if (!state.alive[v]) continue;
+      const graph::VertexId c = state.cluster_of[v];
+      if (dense_id[c] == graph::kDroppedVertex) dense_id[c] = num_clusters++;
+      part[v] = dense_id[c];
+    }
+    trace.clusters_after = num_clusters;
+    result.stats.rounds.push_back(trace);
+
+    if (num_clusters == 0) {
+      cur = graph::ContractedGraph{};
+      break;
+    }
+    cur = graph::contract(cur.graph, part, num_clusters, cur.representative);
+  }
+
+  result.stats.spanner_size = result.spanner.size();
+  return result;
+}
+
+}  // namespace ultra::core

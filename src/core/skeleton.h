@@ -1,0 +1,54 @@
+// Sequential construction of the Section 2 linear-size spanner ("skeleton").
+//
+// The algorithm runs the Theorem 2 schedule: a sequence of rounds, each a
+// series of Expand calls on a contracted working graph, with the clustering
+// contracted between rounds. Edges selected by Expand are mapped through the
+// contraction chain to original-graph edges (the paper: "Selecting (u,v) is
+// merely shorthand for selecting a single arbitrary edge among
+// phi^{-1}(u) x phi^{-1}(v) ∩ E").
+//
+// Guarantees (Theorem 2): expected size Dn/e + O(n log D); distortion
+// O(eps^{-1} 2^{log* n} log_D n) — the schedule carries its own exact
+// per-schedule distortion bound (Lemma 4 applied along the planned rounds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.h"
+#include "graph/graph.h"
+#include "spanner/spanner.h"
+
+namespace ultra::core {
+
+struct RoundTrace {
+  std::uint64_t working_vertices = 0;  // |V(G_{i,0})|
+  std::uint64_t working_edges = 0;
+  std::uint64_t expand_calls = 0;
+  std::uint64_t edges_selected = 0;
+  std::uint64_t died = 0;
+  std::uint64_t clusters_after = 0;    // |C_{i, t_i}| (contracted next round)
+};
+
+struct SkeletonStats {
+  SkeletonSchedule schedule;
+  std::vector<RoundTrace> rounds;
+  std::uint64_t spanner_size = 0;
+  // Predicted expected size from Lemma 6: D n / e + lower-order terms.
+  double predicted_size = 0.0;
+};
+
+struct SkeletonResult {
+  spanner::Spanner spanner;
+  SkeletonStats stats;
+};
+
+// Build the spanner of `g`. The graph may be disconnected; every component
+// is spanned (the spanner preserves connectivity exactly).
+[[nodiscard]] SkeletonResult build_skeleton(const graph::Graph& g,
+                                            const SkeletonParams& params);
+
+// Lemma 6's headline prediction for the expected spanner size.
+[[nodiscard]] double predicted_skeleton_size(std::uint64_t n, std::uint64_t D);
+
+}  // namespace ultra::core

@@ -1,0 +1,31 @@
+#include "core/skeleton_distributed.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ultra::core {
+
+DistributedSkeletonResult build_skeleton_distributed(
+    const graph::Graph& g, const SkeletonParams& params) {
+  DistributedSkeletonResult result{spanner::Spanner(g), {}, {}, {}, 0};
+  result.schedule = plan_schedule(g.num_vertices(), params);
+  const double cap = std::pow(
+      std::log2(std::max<double>(4.0, g.num_vertices())), params.eps);
+  result.message_cap_words =
+      std::max<std::uint64_t>(8, static_cast<std::uint64_t>(std::ceil(cap)));
+
+  sim::Network net(g, result.message_cap_words);
+  ClusterProtocol protocol(g, result.schedule, params.seed, &result.spanner);
+  // Generous budget: the protocol is completion-driven and each call costs
+  // O(tree depth + list length / cap); n rounds per expand call is far above
+  // any real execution and catches livelock bugs.
+  const std::uint64_t budget =
+      (static_cast<std::uint64_t>(result.schedule.total_expand_calls) + 2) *
+          (static_cast<std::uint64_t>(g.num_vertices()) + 64) +
+      1024;
+  result.network = net.run(protocol, budget);
+  result.protocol = protocol.stats();
+  return result;
+}
+
+}  // namespace ultra::core

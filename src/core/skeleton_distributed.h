@@ -1,0 +1,30 @@
+// Theorem 2: the distributed construction of the linear-size spanner. Runs
+// the ClusterProtocol over the Theorem 2 schedule on a synchronous network
+// with messages capped at O(log^eps n) words.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cluster_protocol.h"
+#include "core/schedule.h"
+#include "graph/graph.h"
+#include "sim/network.h"
+#include "spanner/spanner.h"
+
+namespace ultra::core {
+
+struct DistributedSkeletonResult {
+  spanner::Spanner spanner;
+  SkeletonSchedule schedule;
+  ClusterProtocolStats protocol;
+  sim::Metrics network;
+  std::uint64_t message_cap_words = 0;
+};
+
+// Build the spanner of `g` distributively. The message cap is
+// max(8, ceil(log2(n)^eps)) words: the paper's O(log^eps n) with the O(1)
+// control words of the protocol counted in the constant.
+[[nodiscard]] DistributedSkeletonResult build_skeleton_distributed(
+    const graph::Graph& g, const SkeletonParams& params);
+
+}  // namespace ultra::core

@@ -1,0 +1,96 @@
+#include "core/xpt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ultra::core {
+
+namespace {
+
+// The step function: value after one more Expand call, given the previous
+// value x and adversary choice q (Eq. 2 of the paper).
+double step(double x, double p, std::uint64_t q) {
+  const double qq = static_cast<double>(q);
+  return x + (1.0 - p) +
+         (qq - 1.0 - x) * std::pow(1.0 - p, qq + 1.0);
+}
+
+// Maximizing q: analytic optimum is near -1/ln(1-p) + (x + t-ish); scan a
+// window around it. The function is unimodal in q, so a bounded scan past
+// the peak is exact.
+XptStep maximize(double x, double p) {
+  XptStep best;
+  best.value = step(x, p, 0);
+  best.argmax_q = 0;
+  const auto hint = static_cast<std::uint64_t>(
+      std::max(0.0, -1.0 / std::log1p(-p) + x + 2.0));
+  const std::uint64_t limit = hint * 2 + 64;
+  for (std::uint64_t q = 1; q <= limit; ++q) {
+    const double v = step(x, p, q);
+    if (v > best.value) {
+      best.value = v;
+      best.argmax_q = q;
+    }
+  }
+  return best;
+}
+
+std::vector<XptStep> xpt_trajectory(double p, unsigned t) {
+  std::vector<XptStep> steps;
+  steps.reserve(t);
+  double x = 0.0;
+  for (unsigned i = 0; i < t; ++i) {
+    XptStep s = maximize(x, p);
+    x = s.value;
+    steps.push_back(s);
+  }
+  return steps;
+}
+
+}  // namespace
+
+XptStep xpt_exact(double p, unsigned t) {
+  if (t == 0) return XptStep{};
+  return xpt_trajectory(p, t).back();
+}
+
+double xpt_closed_form(double p, unsigned t) {
+  return (std::log(static_cast<double>(t) + 1.0) - kXptZeta) / p +
+         static_cast<double>(t);
+}
+
+double xpt_monte_carlo(double p, unsigned t, std::uint64_t trials,
+                       util::Rng& rng) {
+  const auto steps = xpt_trajectory(p, t);
+  // Replay: the adversary plays q_i = argmax of the DP at step i counting
+  // from the *end* (the recurrence consumes calls back-to-front: Y(q1..qt)
+  // peels q1 then recurses on t-1 remaining calls; the DP's step i computed
+  // with i calls remaining corresponds to the (t-i+1)th call played).
+  std::uint64_t total_edges = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    bool alive_vertex = true;
+    for (unsigned call = 0; call < t && alive_vertex; ++call) {
+      const std::uint64_t q = steps[t - 1 - call].argmax_q;
+      // Own cluster sampled?
+      if (rng.bernoulli(p)) continue;  // alive, no edges
+      // Any of the q adjacent clusters sampled?
+      bool any = false;
+      for (std::uint64_t i = 0; i < q; ++i) {
+        if (rng.bernoulli(p)) {
+          any = true;
+          break;
+        }
+      }
+      if (any) {
+        total_edges += 1;  // line 4 edge
+      } else {
+        total_edges += q;  // line 7 edges
+        alive_vertex = false;
+      }
+    }
+  }
+  return static_cast<double>(total_edges) / static_cast<double>(trials);
+}
+
+}  // namespace ultra::core

@@ -1,0 +1,42 @@
+// The worst-case expected-contribution recurrence X_p^t from Lemma 6 — the
+// corrected Baswana–Sen size analysis. X_p^t is the maximum, over adversarial
+// cluster-adjacency sequences q_1..q_t, of the expected number of spanner
+// edges a single vertex contributes across t Expand calls with sampling
+// probability p:
+//
+//   X_p^0 = 0
+//   X_p^t = max_{q >= 0} [ X_p^{t-1} + (1-p) + (q - 1 - X_p^{t-1})(1-p)^{q+1} ]
+//
+// with closed-form bound X_p^t <= p^{-1}(ln(t+1) - zeta) + t, where
+// zeta = ln 2 - 1/e ≈ 0.325 (Eq. 4). The bench compares the exact DP, the
+// closed form, and a Monte-Carlo simulation of a vertex playing against the
+// maximizing adversary.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace ultra::core {
+
+inline constexpr double kXptZeta = 0.69314718055994530942 - 0.36787944117144232160;
+
+struct XptStep {
+  double value = 0.0;        // X_p^t
+  std::uint64_t argmax_q = 0; // adversary's maximizing q at this step
+};
+
+// Exact DP value of X_p^t (maximization over integer q by direct scan).
+[[nodiscard]] XptStep xpt_exact(double p, unsigned t);
+
+// The paper's closed-form upper bound p^{-1}(ln(t+1) - zeta) + t.
+[[nodiscard]] double xpt_closed_form(double p, unsigned t);
+
+// Monte-Carlo: simulate `trials` independent vertices against the DP's
+// maximizing adversary (q_i = argmax at step i, replayed forward) and return
+// the mean number of contributed edges. Converges to X_p^t from below as the
+// adversary is exactly optimal for the expectation.
+[[nodiscard]] double xpt_monte_carlo(double p, unsigned t, std::uint64_t trials,
+                                     util::Rng& rng);
+
+}  // namespace ultra::core

@@ -1,0 +1,172 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace ultra::graph {
+
+BfsResult bfs(const Graph& g, VertexId source, std::uint32_t max_dist) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("bfs: source out of range");
+  BfsResult result;
+  result.dist.assign(n, kUnreachable);
+  result.parent.assign(n, kInvalidVertex);
+  std::deque<VertexId> queue;
+  result.dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    if (result.dist[v] >= max_dist) continue;
+    for (const VertexId w : g.neighbors(v)) {
+      if (result.dist[w] == kUnreachable) {
+        result.dist[w] = result.dist[v] + 1;
+        result.parent[w] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source,
+                                         std::uint32_t max_dist) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("bfs: source out of range");
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    if (dist[v] >= max_dist) continue;
+    for (const VertexId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+MultiSourceBfsResult multi_source_bfs(const Graph& g,
+                                      std::span<const VertexId> sources,
+                                      std::uint32_t max_dist) {
+  const VertexId n = g.num_vertices();
+  MultiSourceBfsResult result;
+  result.dist.assign(n, kUnreachable);
+  result.nearest.assign(n, kInvalidVertex);
+  result.parent.assign(n, kInvalidVertex);
+
+  // Layered BFS. Within each layer we process vertices and, for every newly
+  // reached vertex w, set nearest[w] to the minimum nearest[] among its
+  // already-settled predecessors. Processing the frontier after fully
+  // settling the previous layer guarantees the min is over *all* shortest
+  // predecessors, so nearest[w] is exactly the min-id source at distance
+  // dist[w].
+  std::vector<VertexId> frontier;
+  for (const VertexId s : sources) {
+    if (s >= n) throw std::out_of_range("multi_source_bfs: source oob");
+    if (result.dist[s] != kUnreachable) continue;
+    result.dist[s] = 0;
+    result.nearest[s] = s;
+    frontier.push_back(s);
+  }
+  // Sources: nearest is itself regardless of id of other sources at distance
+  // 0 (they are distinct vertices).
+  std::uint32_t layer = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty() && layer < max_dist) {
+    next.clear();
+    for (const VertexId v : frontier) {
+      for (const VertexId w : g.neighbors(v)) {
+        if (result.dist[w] == kUnreachable) {
+          result.dist[w] = layer + 1;
+          result.nearest[w] = result.nearest[v];
+          result.parent[w] = v;
+          next.push_back(w);
+        } else if (result.dist[w] == layer + 1 &&
+                   result.nearest[v] < result.nearest[w]) {
+          result.nearest[w] = result.nearest[v];
+          result.parent[w] = v;
+        }
+      }
+    }
+    frontier.swap(next);
+    ++layer;
+  }
+  return result;
+}
+
+std::vector<VertexId> shortest_path(const Graph& g, VertexId u, VertexId v) {
+  const BfsResult r = bfs(g, u);
+  if (r.dist[v] == kUnreachable) return {};
+  std::vector<VertexId> path;
+  for (VertexId x = v; x != kInvalidVertex; x = r.parent[x]) {
+    path.push_back(x);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<VertexId> ball(const Graph& g, VertexId center,
+                           std::uint32_t radius) {
+  const VertexId n = g.num_vertices();
+  if (center >= n) throw std::out_of_range("ball: center out of range");
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue;
+  dist[center] = 0;
+  queue.push_back(center);
+  order.push_back(center);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    if (dist[v] >= radius) continue;
+    for (const VertexId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+        order.push_back(w);
+      }
+    }
+  }
+  return order;
+}
+
+std::uint32_t eccentricity(const Graph& g, VertexId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t exact_diameter(const Graph& g) {
+  std::uint32_t diameter = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    diameter = std::max(diameter, eccentricity(g, v));
+  }
+  return diameter;
+}
+
+std::uint32_t double_sweep_diameter_lb(const Graph& g, VertexId start) {
+  if (g.num_vertices() == 0) return 0;
+  const auto d1 = bfs_distances(g, start);
+  VertexId far = start;
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (d1[v] != kUnreachable && d1[v] > best) {
+      best = d1[v];
+      far = v;
+    }
+  }
+  return eccentricity(g, far);
+}
+
+}  // namespace ultra::graph

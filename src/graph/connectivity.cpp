@@ -1,0 +1,110 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace ultra::graph {
+
+std::vector<std::uint32_t> Components::sizes() const {
+  std::vector<std::uint32_t> out(count, 0);
+  for (const std::uint32_t c : component_of) ++out[c];
+  return out;
+}
+
+std::uint32_t Components::largest() const {
+  const auto s = sizes();
+  if (s.empty()) return 0;
+  return static_cast<std::uint32_t>(
+      std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+Components connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  Components result;
+  result.component_of.assign(n, static_cast<std::uint32_t>(-1));
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < n; ++s) {
+    if (result.component_of[s] != static_cast<std::uint32_t>(-1)) continue;
+    const std::uint32_t c = result.count++;
+    result.component_of[s] = c;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const VertexId w : g.neighbors(v)) {
+        if (result.component_of[w] == static_cast<std::uint32_t>(-1)) {
+          result.component_of[w] = c;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+bool same_connectivity(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  const Components ca = connected_components(a);
+  const Components cb = connected_components(b);
+  if (ca.count != cb.count) return false;
+  // Same count plus b subgraph-of-a (or refinement in general): verify the
+  // partitions agree via a bijection check.
+  std::vector<std::uint32_t> map_ab(ca.count, static_cast<std::uint32_t>(-1));
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    const std::uint32_t x = ca.component_of[v];
+    const std::uint32_t y = cb.component_of[v];
+    if (map_ab[x] == static_cast<std::uint32_t>(-1)) {
+      map_ab[x] = y;
+    } else if (map_ab[x] != y) {
+      return false;
+    }
+  }
+  return true;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const VertexId> vertices) {
+  InducedSubgraph out;
+  out.from_original.assign(g.num_vertices(), kInvalidVertex);
+  out.to_original.assign(vertices.begin(), vertices.end());
+  std::sort(out.to_original.begin(), out.to_original.end());
+  out.to_original.erase(
+      std::unique(out.to_original.begin(), out.to_original.end()),
+      out.to_original.end());
+  for (std::size_t i = 0; i < out.to_original.size(); ++i) {
+    const VertexId v = out.to_original[i];
+    if (v >= g.num_vertices()) {
+      throw std::out_of_range("induced_subgraph: vertex out of range");
+    }
+    out.from_original[v] = static_cast<VertexId>(i);
+  }
+  std::vector<Edge> edges;
+  for (const Edge& e : g.edges()) {
+    const VertexId nu = out.from_original[e.u];
+    const VertexId nv = out.from_original[e.v];
+    if (nu != kInvalidVertex && nv != kInvalidVertex) {
+      edges.push_back(make_edge(nu, nv));
+    }
+  }
+  out.graph = Graph::from_edges(
+      static_cast<VertexId>(out.to_original.size()), std::move(edges));
+  return out;
+}
+
+InducedSubgraph largest_component_subgraph(const Graph& g) {
+  const Components c = connected_components(g);
+  const std::uint32_t target = c.largest();
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (c.component_of[v] == target) keep.push_back(v);
+  }
+  return induced_subgraph(g, keep);
+}
+
+}  // namespace ultra::graph

@@ -1,0 +1,60 @@
+#include "graph/contraction.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ultra::graph {
+
+Edge ContractedGraph::representative_of(VertexId a, VertexId b) const {
+  const Edge target = make_edge(a, b);
+  const auto edges = graph.edges();
+  const auto it = std::lower_bound(edges.begin(), edges.end(), target);
+  if (it == edges.end() || !(*it == target)) {
+    throw std::invalid_argument("representative_of: not a quotient edge");
+  }
+  return representative[static_cast<std::size_t>(it - edges.begin())];
+}
+
+ContractedGraph contract(const Graph& g, std::span<const std::uint32_t> part,
+                         std::uint32_t num_parts,
+                         std::span<const Edge> base_representative) {
+  if (part.size() != g.num_vertices()) {
+    throw std::invalid_argument("contract: part size mismatch");
+  }
+  if (!base_representative.empty() &&
+      base_representative.size() != g.num_edges()) {
+    throw std::invalid_argument("contract: representative size mismatch");
+  }
+
+  // Map each surviving quotient edge key -> representative original edge
+  // (first one wins; "a single arbitrary edge").
+  std::unordered_map<std::uint64_t, Edge> rep;
+  rep.reserve(g.num_edges());
+  std::vector<Edge> quotient_edges;
+  const auto edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    const std::uint32_t pu = part[e.u];
+    const std::uint32_t pv = part[e.v];
+    if (pu == kDroppedVertex || pv == kDroppedVertex || pu == pv) continue;
+    if (pu >= num_parts || pv >= num_parts) {
+      throw std::out_of_range("contract: part id out of range");
+    }
+    const Edge qe = make_edge(pu, pv);
+    const Edge orig = base_representative.empty() ? e : base_representative[i];
+    if (rep.emplace(edge_key(qe), orig).second) {
+      quotient_edges.push_back(qe);
+    }
+  }
+
+  ContractedGraph out;
+  out.graph = Graph::from_edges(num_parts, std::move(quotient_edges));
+  out.representative.reserve(out.graph.num_edges());
+  for (const Edge& qe : out.graph.edges()) {
+    out.representative.push_back(rep.at(edge_key(qe)));
+  }
+  return out;
+}
+
+}  // namespace ultra::graph

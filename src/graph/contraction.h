@@ -1,0 +1,45 @@
+// Graph contraction (the G' := G / C operation from Section 2). Contracting a
+// clustering replaces each cluster by a single vertex, dropping loops and
+// deduplicating parallel edges. Crucially, the paper's algorithm only ever
+// "selects" edges of the *original* graph: "Selecting (u,v) is merely
+// shorthand for selecting a single arbitrary edge among
+// phi^{-1}(u) x phi^{-1}(v) ∩ E." We therefore carry, for every edge of the
+// quotient graph, one representative edge of the original graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ultra::graph {
+
+// Marker for vertices removed by the contraction (e.g. dead vertices).
+inline constexpr std::uint32_t kDroppedVertex = static_cast<std::uint32_t>(-1);
+
+struct ContractedGraph {
+  Graph graph;  // the quotient graph, one vertex per part
+
+  // For each edge of `graph` (indexed in the order of graph.edges()), one
+  // representative edge of the *base* graph of the contraction chain.
+  std::vector<Edge> representative;
+
+  // Returns the representative original-graph edge for quotient edge (a, b).
+  // Requires (a, b) to be an edge of `graph`.
+  [[nodiscard]] Edge representative_of(VertexId a, VertexId b) const;
+};
+
+// Contract `g` according to `part` (one entry per vertex of g, values in
+// [0, num_parts) or kDroppedVertex for vertices to delete).
+//
+// `base_representative`, if nonempty, maps each edge of `g` (in g.edges()
+// order) to an original-graph edge; the output representatives are composed
+// through it, so chains of contractions keep pointing at the true original
+// edges. If empty, `g` itself is treated as the original graph.
+[[nodiscard]] ContractedGraph contract(
+    const Graph& g, std::span<const std::uint32_t> part,
+    std::uint32_t num_parts,
+    std::span<const Edge> base_representative = {});
+
+}  // namespace ultra::graph

@@ -1,0 +1,16 @@
+#include "graph/distances.h"
+
+#include "graph/bfs.h"
+
+namespace ultra::graph {
+
+DistanceMatrix::DistanceMatrix(const Graph& g) : n_(g.num_vertices()) {
+  data_.resize(static_cast<std::size_t>(n_) * n_);
+  for (VertexId s = 0; s < n_; ++s) {
+    const auto dist = bfs_distances(g, s);
+    std::copy(dist.begin(), dist.end(),
+              data_.begin() + static_cast<std::size_t>(s) * n_);
+  }
+}
+
+}  // namespace ultra::graph

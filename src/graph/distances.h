@@ -1,0 +1,29 @@
+// Exact distance matrices for small graphs (used by the distortion
+// evaluator's exact mode and by the unit tests as ground truth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ultra::graph {
+
+// n x n matrix of BFS distances; kUnreachable across components.
+// O(n * m) time, O(n^2) space — intended for n up to a few thousands.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  explicit DistanceMatrix(const Graph& g);
+
+  [[nodiscard]] std::uint32_t at(VertexId u, VertexId v) const {
+    return data_[static_cast<std::size_t>(u) * n_ + v];
+  }
+  [[nodiscard]] VertexId size() const noexcept { return n_; }
+
+ private:
+  VertexId n_ = 0;
+  std::vector<std::uint32_t> data_;
+};
+
+}  // namespace ultra::graph

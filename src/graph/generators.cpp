@@ -1,0 +1,264 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ultra::graph {
+
+namespace {
+
+// Number of possible edges, saturating at uint64 max (n <= 2^32).
+std::uint64_t max_edges(VertexId n) {
+  return static_cast<std::uint64_t>(n) * (n - 1) / 2;
+}
+
+}  // namespace
+
+Graph erdos_renyi_gnm(VertexId n, std::uint64_t m, util::Rng& rng) {
+  if (n < 2) return Graph::from_edges(n, {});
+  m = std::min(m, max_edges(n));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m * 2));
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  while (edges.size() < m) {
+    const auto a = static_cast<VertexId>(rng.next_below(n));
+    const auto b = static_cast<VertexId>(rng.next_below(n));
+    if (a == b) continue;
+    const Edge e = make_edge(a, b);
+    if (seen.insert(edge_key(e)).second) edges.push_back(e);
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph erdos_renyi_gnp(VertexId n, double p, util::Rng& rng) {
+  if (n < 2 || p <= 0.0) return Graph::from_edges(n, {});
+  std::vector<Edge> edges;
+  if (p >= 1.0) return complete_graph(n);
+  // Geometric skipping over the lexicographic edge enumeration.
+  const double log_q = std::log1p(-p);
+  std::uint64_t idx = 0;
+  const std::uint64_t total = max_edges(n);
+  while (true) {
+    const double r = rng.next_double();
+    const double skip = std::floor(std::log1p(-r) / log_q);
+    if (skip >= static_cast<double>(total)) break;
+    idx += static_cast<std::uint64_t>(skip);
+    if (idx >= total) break;
+    // Decode idx -> (u, v) with u < v in the row-major enumeration where row
+    // u holds n-1-u edges and starts at index u*n - u*(u+1)/2. Binary search
+    // for the row containing idx.
+    auto row_start = [&](std::uint64_t r0) {
+      return r0 * n - r0 * (r0 + 1) / 2;
+    };
+    std::uint64_t lo = 0, hi = n - 1;  // row in [lo, hi)
+    while (hi - lo > 1) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (row_start(mid) <= idx) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const auto u = static_cast<VertexId>(lo);
+    const VertexId v = static_cast<VertexId>(u + 1 + (idx - row_start(lo)));
+    edges.push_back(Edge{u, v});
+    ++idx;
+    if (idx >= total) break;
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph connected_gnm(VertexId n, std::uint64_t m, util::Rng& rng) {
+  if (n == 0) return Graph();
+  std::vector<Edge> edges;
+  // Random attachment tree for connectivity.
+  std::vector<VertexId> order(n);
+  for (VertexId i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (VertexId i = 1; i < n; ++i) {
+    const VertexId anchor = order[rng.next_below(i)];
+    edges.push_back(make_edge(order[i], anchor));
+  }
+  const Graph random_part = erdos_renyi_gnm(n, m, rng);
+  for (const Edge& e : random_part.edges()) edges.push_back(e);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_regular(VertexId n, std::uint32_t d, util::Rng& rng) {
+  if (n == 0 || d == 0) return Graph::from_edges(n, {});
+  std::vector<VertexId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  rng.shuffle(stubs);
+  std::vector<Edge> edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) {
+      edges.push_back(make_edge(stubs[i], stubs[i + 1]));
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_tree(VertexId n, util::Rng& rng) {
+  if (n == 0) return Graph();
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (VertexId v = 1; v < n; ++v) {
+    const auto anchor = static_cast<VertexId>(rng.next_below(v));
+    edges.push_back(make_edge(v, anchor));
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph preferential_attachment(VertexId n, std::uint32_t k, util::Rng& rng) {
+  if (n == 0) return Graph();
+  std::vector<Edge> edges;
+  // Endpoint pool: each edge contributes both endpoints, so sampling a pool
+  // element is degree-proportional sampling.
+  std::vector<VertexId> pool;
+  for (VertexId v = 1; v < n; ++v) {
+    const std::uint32_t links = std::min<std::uint32_t>(k, v);
+    std::unordered_set<VertexId> chosen;
+    while (chosen.size() < links) {
+      VertexId target;
+      if (pool.empty() || rng.bernoulli(0.2)) {
+        target = static_cast<VertexId>(rng.next_below(v));
+      } else {
+        target = pool[rng.next_below(pool.size())];
+      }
+      if (target != v) chosen.insert(target);
+    }
+    for (const VertexId t : chosen) {
+      edges.push_back(make_edge(v, t));
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph path_graph(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) edges.push_back(Edge{v - 1, v});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph cycle_graph(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) edges.push_back(Edge{v - 1, v});
+  if (n >= 3) edges.push_back(make_edge(n - 1, 0));
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete_graph(VertexId n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete_bipartite(VertexId a, VertexId b) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) {
+      edges.push_back(Edge{u, static_cast<VertexId>(a + v)});
+    }
+  }
+  return Graph::from_edges(a + b, std::move(edges));
+}
+
+Graph grid_graph(VertexId width, VertexId height) {
+  std::vector<Edge> edges;
+  auto id = [width](VertexId x, VertexId y) { return y * width + x; };
+  for (VertexId y = 0; y < height; ++y) {
+    for (VertexId x = 0; x < width; ++x) {
+      if (x + 1 < width) edges.push_back(Edge{id(x, y), id(x + 1, y)});
+      if (y + 1 < height) edges.push_back(Edge{id(x, y), id(x, y + 1)});
+    }
+  }
+  return Graph::from_edges(width * height, std::move(edges));
+}
+
+Graph torus_graph(VertexId width, VertexId height) {
+  std::vector<Edge> edges;
+  auto id = [width](VertexId x, VertexId y) { return y * width + x; };
+  for (VertexId y = 0; y < height; ++y) {
+    for (VertexId x = 0; x < width; ++x) {
+      edges.push_back(make_edge(id(x, y), id((x + 1) % width, y)));
+      edges.push_back(make_edge(id(x, y), id(x, (y + 1) % height)));
+    }
+  }
+  return Graph::from_edges(width * height, std::move(edges));
+}
+
+Graph hypercube(std::uint32_t dims) {
+  if (dims >= 31) throw std::out_of_range("hypercube: dims too large");
+  const VertexId n = VertexId{1} << dims;
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t b = 0; b < dims; ++b) {
+      const VertexId w = v ^ (VertexId{1} << b);
+      if (v < w) edges.push_back(Edge{v, w});
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph ring_of_cliques(VertexId count, VertexId clique_size) {
+  std::vector<Edge> edges;
+  const VertexId n = count * clique_size;
+  for (VertexId c = 0; c < count; ++c) {
+    const VertexId base = c * clique_size;
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        edges.push_back(Edge{base + i, base + j});
+      }
+    }
+    if (count > 1) {
+      const VertexId next_base = ((c + 1) % count) * clique_size;
+      // Connect last vertex of this clique to first of the next.
+      edges.push_back(
+          make_edge(base + clique_size - 1, next_base));
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph clique_chain(VertexId count, VertexId clique_size,
+                   std::uint32_t path_len) {
+  std::vector<Edge> edges;
+  VertexId next_id = 0;
+  std::vector<VertexId> entry(count), exit(count);
+  for (VertexId c = 0; c < count; ++c) {
+    const VertexId base = next_id;
+    next_id += clique_size;
+    entry[c] = base;
+    exit[c] = base + clique_size - 1;
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        edges.push_back(Edge{base + i, base + j});
+      }
+    }
+  }
+  for (VertexId c = 0; c + 1 < count; ++c) {
+    VertexId prev = exit[c];
+    for (std::uint32_t s = 1; s < path_len; ++s) {
+      const VertexId mid = next_id++;
+      edges.push_back(make_edge(prev, mid));
+      prev = mid;
+    }
+    edges.push_back(make_edge(prev, entry[c + 1]));
+  }
+  return Graph::from_edges(next_id, std::move(edges));
+}
+
+}  // namespace ultra::graph

@@ -1,0 +1,65 @@
+// Graph generators for workloads: random models (Erdős–Rényi, configuration-
+// model random regular, preferential attachment, random trees), structured
+// families (grids, tori, hypercubes, rings of cliques), and classical
+// building blocks (paths, cycles, complete and complete bipartite graphs).
+// The lower-bound gadget G(tau, beta, kappa) from Section 3 lives in
+// src/lowerbound (it is an experiment artifact, not a generic workload).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ultra::graph {
+
+// G(n, m): n vertices, m distinct uniform random edges (m clamped to C(n,2)).
+[[nodiscard]] Graph erdos_renyi_gnm(VertexId n, std::uint64_t m,
+                                    util::Rng& rng);
+
+// G(n, p): each of the C(n,2) edges present independently with probability p.
+// Uses geometric skipping, so sparse graphs cost O(n + m).
+[[nodiscard]] Graph erdos_renyi_gnp(VertexId n, double p, util::Rng& rng);
+
+// Connected Erdős–Rényi-style graph: G(n, m) plus a uniform random spanning
+// tree to guarantee connectivity (total edges <= m + n - 1).
+[[nodiscard]] Graph connected_gnm(VertexId n, std::uint64_t m, util::Rng& rng);
+
+// Random d-regular-ish multigraph via the configuration model, with loops and
+// parallel edges dropped (so degrees are <= d; for d << n almost all vertices
+// get exactly d).
+[[nodiscard]] Graph random_regular(VertexId n, std::uint32_t d,
+                                   util::Rng& rng);
+
+// Uniform random labelled tree (Prüfer-free: random attachment ordering —
+// not the uniform spanning tree distribution, but a simple random tree).
+[[nodiscard]] Graph random_tree(VertexId n, util::Rng& rng);
+
+// Barabási–Albert preferential attachment; each new vertex attaches `k`
+// edges to existing vertices chosen proportionally to degree.
+[[nodiscard]] Graph preferential_attachment(VertexId n, std::uint32_t k,
+                                            util::Rng& rng);
+
+[[nodiscard]] Graph path_graph(VertexId n);
+[[nodiscard]] Graph cycle_graph(VertexId n);
+[[nodiscard]] Graph complete_graph(VertexId n);
+[[nodiscard]] Graph complete_bipartite(VertexId a, VertexId b);
+
+// width x height grid; torus wraps both dimensions.
+[[nodiscard]] Graph grid_graph(VertexId width, VertexId height);
+[[nodiscard]] Graph torus_graph(VertexId width, VertexId height);
+
+// d-dimensional hypercube: 2^d vertices.
+[[nodiscard]] Graph hypercube(std::uint32_t dims);
+
+// `count` cliques of size `clique_size` arranged in a ring, consecutive
+// cliques joined by a single edge. Dense locally, sparse globally — a good
+// stress test for clustering-based spanners.
+[[nodiscard]] Graph ring_of_cliques(VertexId count, VertexId clique_size);
+
+// Caterpillar-of-cliques "dumbbell" chain: `count` cliques joined by paths
+// of length `path_len`. Exercises distance-sensitive distortion.
+[[nodiscard]] Graph clique_chain(VertexId count, VertexId clique_size,
+                                 std::uint32_t path_len);
+
+}  // namespace ultra::graph

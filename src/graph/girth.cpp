@@ -1,0 +1,46 @@
+#include "graph/girth.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "graph/bfs.h"
+
+namespace ultra::graph {
+
+std::uint32_t girth(const Graph& g) {
+  // For each start vertex run a BFS; a non-tree edge between vertices at
+  // depths d1, d2 witnesses a cycle through the root region of length
+  // <= d1 + d2 + 1. Taking the minimum over all roots yields the exact girth
+  // for unweighted graphs (standard argument: for a shortest cycle C and any
+  // v on C, the BFS from v finds C's length exactly).
+  const VertexId n = g.num_vertices();
+  std::uint32_t best = kInfiniteGirth;
+  std::vector<std::uint32_t> dist(n);
+  std::vector<VertexId> parent(n);
+  for (VertexId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::fill(parent.begin(), parent.end(), kInvalidVertex);
+    std::deque<VertexId> queue;
+    dist[s] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      // Cycles longer than `best` cannot improve the answer.
+      if (best != kInfiniteGirth && 2 * dist[v] >= best) break;
+      for (const VertexId w : g.neighbors(v)) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = dist[v] + 1;
+          parent[w] = v;
+          queue.push_back(w);
+        } else if (w != parent[v] && parent[w] != v) {
+          best = std::min(best, dist[v] + dist[w] + 1);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ultra::graph

@@ -1,0 +1,19 @@
+// Girth computation (length of the shortest cycle). The classical sequential
+// route to linear-size spanners keeps the subgraph girth at Omega(log n)
+// (Althöfer et al.); the tests use girth to validate the greedy baseline's
+// structural guarantee. O(n * m) BFS-based algorithm — fine for test sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ultra::graph {
+
+inline constexpr std::uint32_t kInfiniteGirth =
+    static_cast<std::uint32_t>(-1);
+
+// Exact girth; kInfiniteGirth for forests.
+[[nodiscard]] std::uint32_t girth(const Graph& g);
+
+}  // namespace ultra::graph

@@ -1,0 +1,88 @@
+#include "graph/weighted.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ultra::graph {
+
+WeightedGraph WeightedGraph::from_edges(VertexId n,
+                                        std::vector<WeightedEdge> edges) {
+  WeightedGraph g;
+  g.adj_.resize(n);
+  std::unordered_map<std::uint64_t, Weight> best;
+  best.reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    if (e.u >= n || e.v >= n) {
+      throw std::out_of_range("WeightedGraph::from_edges: vertex oob");
+    }
+    if (!(e.w > 0)) {
+      throw std::invalid_argument(
+          "WeightedGraph::from_edges: weights must be positive");
+    }
+    const std::uint64_t key = edge_key(make_edge(e.u, e.v));
+    const auto it = best.find(key);
+    if (it == best.end() || e.w < it->second) best[key] = e.w;
+  }
+  for (const auto& [key, w] : best) {
+    const auto u = static_cast<VertexId>(key >> 32);
+    const auto v = static_cast<VertexId>(key & 0xffffffffu);
+    g.adj_[u].push_back(Arc{v, w});
+    g.adj_[v].push_back(Arc{u, w});
+    ++g.m_;
+  }
+  for (auto& list : g.adj_) {
+    std::sort(list.begin(), list.end(),
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+std::vector<WeightedEdge> WeightedGraph::edge_list() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(m_);
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (const Arc& a : adj_[u]) {
+      if (u < a.to) out.push_back(WeightedEdge{u, a.to, a.w});
+    }
+  }
+  return out;
+}
+
+Graph WeightedGraph::topology() const {
+  std::vector<Edge> edges;
+  edges.reserve(m_);
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (const Arc& a : adj_[u]) {
+      if (u < a.to) edges.push_back(Edge{u, a.to});
+    }
+  }
+  return Graph::from_edges(num_vertices(), std::move(edges));
+}
+
+std::vector<Weight> dijkstra(const WeightedGraph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("dijkstra: source oob");
+  std::vector<Weight> dist(n, kInfiniteWeight);
+  using Item = std::pair<Weight, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const auto& arc : g.neighbors(v)) {
+      const Weight nd = d + arc.w;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace ultra::graph

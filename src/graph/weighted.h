@@ -1,0 +1,61 @@
+// Weighted undirected graphs and Dijkstra — the substrate for the weighted
+// Baswana–Sen baseline (Fig. 1 of the paper: "[10] ... for weighted graphs
+// is optimal in all respects, save for a factor of k in the spanner size").
+// Kept separate from the unweighted core: the paper's own algorithms are for
+// unweighted graphs, where BFS replaces Dijkstra everywhere.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ultra::graph {
+
+using Weight = double;
+inline constexpr Weight kInfiniteWeight =
+    std::numeric_limits<Weight>::infinity();
+
+struct WeightedEdge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight w = 0;
+};
+
+class WeightedGraph {
+ public:
+  struct Arc {
+    VertexId to;
+    Weight w;
+  };
+
+  WeightedGraph() = default;
+
+  // Parallel edges keep the lightest; loops dropped; weights must be > 0.
+  static WeightedGraph from_edges(VertexId n,
+                                  std::vector<WeightedEdge> edges);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(adj_.size());
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return m_; }
+  [[nodiscard]] std::span<const Arc> neighbors(VertexId v) const {
+    return adj_[v];
+  }
+  [[nodiscard]] std::vector<WeightedEdge> edge_list() const;
+
+  // The unweighted shadow (same topology; used for structural checks).
+  [[nodiscard]] Graph topology() const;
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+  std::uint64_t m_ = 0;
+};
+
+// Dijkstra distances from `source` (binary-heap, O(m log n)).
+[[nodiscard]] std::vector<Weight> dijkstra(const WeightedGraph& g,
+                                           VertexId source);
+
+}  // namespace ultra::graph

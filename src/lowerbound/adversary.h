@@ -1,0 +1,63 @@
+// Experimental harnesses for the Section 3 lower bounds.
+//
+// oracle_adversary realizes the accounting in Theorem 3's proof: any correct
+// tau-round algorithm whose output has at most n^{1+delta} edges must discard
+// each block edge with the *same* probability (tau-neighborhoods of all block
+// edges are topologically identical), which is at least
+// p = 1 - 1/c - 1/(c kappa) when the input has c kappa n^delta-ish density.
+// The proof "generously assumes" only critical edges are discarded — the
+// best case for the algorithm — and still derives distortion
+// 2 p (kappa - 1)-ish for the extremal pair. The harness samples exactly that
+// behaviour and measures the realized distortion.
+//
+// measure_critical evaluates any concrete spanner (produced by a real
+// algorithm run on the gadget) on the same quantities.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "lowerbound/gadget.h"
+#include "spanner/spanner.h"
+#include "util/rng.h"
+
+namespace ultra::lowerbound {
+
+struct AdversaryOutcome {
+  double discard_probability = 0.0;
+  std::uint64_t critical_discarded = 0;
+  std::uint64_t spanner_size = 0;
+  std::uint32_t dist_g = 0;   // extremal pair distance in G
+  std::uint32_t dist_h = 0;   // ... and in the sampled spanner
+  std::uint32_t additive = 0; // dist_h - dist_g
+};
+
+[[nodiscard]] AdversaryOutcome oracle_adversary(const Gadget& gadget, double c,
+                                                util::Rng& rng);
+
+struct CriticalMeasurement {
+  std::uint64_t critical_total = 0;
+  std::uint64_t critical_kept = 0;
+  std::uint64_t spanner_size = 0;
+  std::uint32_t dist_g = 0;
+  std::uint32_t dist_h = 0;  // graph::kUnreachable if disconnected
+  std::uint32_t additive = 0;
+  double mult = 1.0;
+};
+
+[[nodiscard]] CriticalMeasurement measure_critical(const Gadget& gadget,
+                                                   const spanner::Spanner& s);
+
+// The paper's adversarial label assignment: "If the algorithm assumes that
+// the vertices have unique labels we assign them a random permutation."
+// Runs `build` on a randomly relabeled copy of the gadget graph and maps the
+// resulting spanner back to gadget coordinates. Without this, a concrete
+// algorithm can keep the critical edges by id-ordering luck; with it, every
+// block edge is discarded with the same probability (the symmetry claim in
+// Section 3).
+[[nodiscard]] spanner::Spanner run_relabeled(
+    const Gadget& gadget,
+    const std::function<spanner::Spanner(const Graph&)>& build,
+    util::Rng& rng);
+
+}  // namespace ultra::lowerbound

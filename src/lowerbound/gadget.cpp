@@ -1,0 +1,110 @@
+#include "lowerbound/gadget.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ultra::lowerbound {
+
+std::uint64_t paper_vertex_count(const GadgetParams& p) {
+  const std::uint64_t tau = p.tau, beta = p.beta, kappa = p.kappa;
+  return kappa * (beta * (tau + 6) - 4) + beta * (tau + 1) -
+         3 * (beta - 1) + 1;
+}
+
+Gadget build_gadget(const GadgetParams& p) {
+  if (p.beta < 2 || p.kappa < 2) {
+    throw std::invalid_argument("build_gadget: beta, kappa must be >= 2");
+  }
+  Gadget g;
+  g.params = p;
+  std::vector<Edge> edges;
+  VertexId next = 0;
+  auto fresh = [&next]() { return next++; };
+
+  // Block vertices.
+  g.left.resize(p.kappa);
+  g.right.resize(p.kappa);
+  for (std::uint32_t i = 0; i < p.kappa; ++i) {
+    g.left[i].resize(p.beta);
+    g.right[i].resize(p.beta);
+    for (std::uint32_t j = 0; j < p.beta; ++j) g.left[i][j] = fresh();
+    for (std::uint32_t j = 0; j < p.beta; ++j) g.right[i][j] = fresh();
+    // Complete bipartite block.
+    for (std::uint32_t a = 0; a < p.beta; ++a) {
+      for (std::uint32_t b = 0; b < p.beta; ++b) {
+        edges.push_back(graph::make_edge(g.left[i][a], g.right[i][b]));
+      }
+    }
+    g.critical_edges.push_back(
+        graph::make_edge(g.left[i][0], g.right[i][0]));
+  }
+
+  // A path of `interior` fresh vertices joining a to b (length interior+1).
+  auto chain = [&](VertexId a, VertexId b, std::uint32_t interior) {
+    VertexId prev = a;
+    for (std::uint32_t s = 0; s < interior; ++s) {
+      const VertexId mid = fresh();
+      edges.push_back(graph::make_edge(prev, mid));
+      prev = mid;
+    }
+    edges.push_back(graph::make_edge(prev, b));
+  };
+  // A dangling path of `count` fresh vertices hanging off a.
+  auto dangle = [&](VertexId a, std::uint32_t count) {
+    VertexId prev = a;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      const VertexId mid = fresh();
+      edges.push_back(graph::make_edge(prev, mid));
+      prev = mid;
+    }
+  };
+
+  // Inter-block chains: short (length tau+1) for j = 1, long (tau+5) for
+  // j >= 2.
+  for (std::uint32_t i = 0; i + 1 < p.kappa; ++i) {
+    chain(g.right[i][0], g.left[i + 1][0], p.tau);
+    for (std::uint32_t j = 1; j < p.beta; ++j) {
+      chain(g.right[i][j], g.left[i + 1][j], p.tau + 4);
+    }
+  }
+
+  // Boundary chains of tau+1 new vertices, making every block vertex's
+  // tau-neighborhood identical.
+  for (std::uint32_t j = 0; j < p.beta; ++j) {
+    dangle(g.left[0][j], p.tau + 1);
+    dangle(g.right[p.kappa - 1][j], p.tau + 1);
+  }
+
+  g.graph = Graph::from_edges(next, std::move(edges));
+  return g;
+}
+
+GadgetParams params_for_time_tradeoff(std::uint64_t n, double delta, double c,
+                                      std::uint32_t tau) {
+  GadgetParams p;
+  p.tau = tau;
+  const double nd = std::pow(static_cast<double>(n), delta);
+  const double n1d = std::pow(static_cast<double>(n), 1.0 - delta);
+  p.beta = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::lround(c * (tau + 6.0) * nd)));
+  p.kappa = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(
+             std::lround(n1d / (c * (tau + 6.0) * (tau + 6.0)))));
+  return p;
+}
+
+GadgetParams params_for_additive(std::uint64_t n, double delta,
+                                 std::uint32_t beta_add) {
+  const double n1d = std::pow(static_cast<double>(n), 1.0 - delta);
+  const double tau_real =
+      std::sqrt(n1d / (4.0 * static_cast<double>(beta_add))) - 6.0;
+  GadgetParams p;
+  p.tau = static_cast<std::uint32_t>(std::max(1.0, std::floor(tau_real)));
+  const double nd = std::pow(static_cast<double>(n), delta);
+  p.beta = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::lround(2.0 * (p.tau + 6.0) * nd)));
+  p.kappa = std::max<std::uint32_t>(2, 2 * beta_add);
+  return p;
+}
+
+}  // namespace ultra::lowerbound

@@ -1,0 +1,82 @@
+// The lower-bound graph family G(tau, beta, kappa) of Section 3 (Fig. 5).
+//
+// kappa complete beta x beta bipartite blocks; for each gap between block i
+// and block i+1, the first right vertex is joined to the first left vertex of
+// the next block by a path of length tau+1 (tau new vertices) — the "short"
+// chain — while every other pair (j >= 2) is joined by a path of length
+// tau+5 (tau+4 new vertices). Chains of tau+1 new vertices hang off the left
+// side of block 1 and the right side of block kappa so every block vertex's
+// tau-neighborhood is topologically identical (an algorithm running tau
+// rounds cannot distinguish them, which is the engine of Theorems 3-6).
+//
+// The *critical edges* are (v_{L,i,1}, v_{R,i,1}): discarding one forces a
+// +2 detour through row 2; no tau-round algorithm can treat them differently
+// from the other block edges, yet a size-n^{1+delta} spanner must discard
+// most block edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ultra::lowerbound {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+
+struct GadgetParams {
+  std::uint32_t tau = 1;    // round budget the construction defeats
+  std::uint32_t beta = 2;   // block side size (>= 2)
+  std::uint32_t kappa = 2;  // number of blocks (>= 2)
+};
+
+struct Gadget {
+  Graph graph;
+  GadgetParams params;
+
+  // left[i][j] / right[i][j]: v_{L,i+1,j+1} / v_{R,i+1,j+1} (0-indexed here).
+  std::vector<std::vector<VertexId>> left;
+  std::vector<std::vector<VertexId>> right;
+
+  // (v_{L,i,1}, v_{R,i,1}) for each block i.
+  std::vector<Edge> critical_edges;
+
+  // The canonical extremal pair u = v_{L,1,1}, v = v_{L,kappa,1}: its unique
+  // shortest path has length (kappa-1)(tau+2) and crosses the critical edge
+  // of every block except the last.
+  [[nodiscard]] VertexId extremal_u() const { return left.front().front(); }
+  [[nodiscard]] VertexId extremal_v() const { return left.back().front(); }
+  [[nodiscard]] std::uint32_t extremal_distance() const {
+    return (params.kappa - 1) * (params.tau + 2);
+  }
+
+  // Block-edge count (the edges a size-bounded spanner must mostly discard).
+  [[nodiscard]] std::uint64_t block_edges() const {
+    return static_cast<std::uint64_t>(params.kappa) * params.beta *
+           params.beta;
+  }
+};
+
+// Exact vertex count formula from the paper (Section 3):
+// n = kappa (beta (tau+6) - 4) + beta (tau+1) - 3(beta-1) + 1.
+[[nodiscard]] std::uint64_t paper_vertex_count(const GadgetParams& p);
+
+[[nodiscard]] Gadget build_gadget(const GadgetParams& p);
+
+// Parameter choices from the theorems. Each returns integer parameters
+// approximating the paper's real-valued prescriptions, never below the
+// minimum legal values.
+//
+// Theorem 3/4: beta = c (tau+6) n^delta, kappa = n^{1-delta}/(c (tau+6)^2).
+[[nodiscard]] GadgetParams params_for_time_tradeoff(std::uint64_t n,
+                                                    double delta, double c,
+                                                    std::uint32_t tau);
+
+// Theorem 5 (additive beta_add-spanners): tau = sqrt(n^{1-delta}/(4
+// beta_add)) - 6, beta = 2 (tau+6) n^delta, kappa = 2 beta_add.
+[[nodiscard]] GadgetParams params_for_additive(std::uint64_t n, double delta,
+                                               std::uint32_t beta_add);
+
+}  // namespace ultra::lowerbound

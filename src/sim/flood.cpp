@@ -1,0 +1,93 @@
+#include "sim/flood.h"
+
+#include <algorithm>
+
+namespace ultra::sim {
+
+namespace {
+
+// Index of `w` in the sorted neighbor list of `v`.
+std::size_t neighbor_pos(const graph::Graph& g, VertexId v, VertexId w) {
+  const auto nbrs = g.neighbors(v);
+  return static_cast<std::size_t>(
+      std::lower_bound(nbrs.begin(), nbrs.end(), w) - nbrs.begin());
+}
+
+}  // namespace
+
+void TruncatedMinIdFlood::begin(Network& net) {
+  const VertexId n = net.num_nodes();
+  dist_.assign(n, graph::kUnreachable);
+  nearest_.assign(n, graph::kInvalidVertex);
+  parent_.assign(n, graph::kInvalidVertex);
+  heard_.assign(n, {});
+  for (VertexId v = 0; v < n; ++v) {
+    heard_[v].assign(net.graph().degree(v), 0);
+    if (v < is_source_.size() && is_source_[v]) {
+      dist_[v] = 0;
+      nearest_[v] = v;
+    }
+  }
+}
+
+void TruncatedMinIdFlood::on_round(Mailbox& mb) {
+  const VertexId v = mb.self();
+  const auto now = static_cast<std::uint32_t>(mb.round());
+
+  // Record who we heard from regardless of whether we are already settled.
+  for (const Message& msg : mb.inbox()) {
+    heard_[v][neighbor_pos(mb.topology(), v, msg.from)] = 1;
+  }
+
+  if (dist_[v] == graph::kUnreachable && !mb.inbox().empty()) {
+    // First arrivals: they all traveled exactly `now` hops, so the minimum
+    // id among them is the min-id source at distance `now`.
+    dist_[v] = now;
+    for (const Message& msg : mb.inbox()) {
+      if (msg.payload[0] < nearest_[v]) {
+        nearest_[v] = static_cast<VertexId>(msg.payload[0]);
+        parent_[v] = msg.from;
+      }
+    }
+  }
+
+  // Relay once, in the activation where we became settled, if the flood may
+  // still extend (dist < radius).
+  if (dist_[v] == now && dist_[v] < radius_) {
+    const auto nbrs = mb.neighbors();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!heard_[v][i]) mb.send(nbrs[i], Word{nearest_[v]});
+    }
+  }
+}
+
+bool TruncatedMinIdFlood::done(const Network& net) const {
+  return net.round() > radius_;
+}
+
+void BfsFlood::begin(Network& net) {
+  const VertexId n = net.num_nodes();
+  dist_.assign(n, graph::kUnreachable);
+  parent_.assign(n, graph::kInvalidVertex);
+  dist_[root_] = 0;
+}
+
+void BfsFlood::on_round(Mailbox& mb) {
+  const VertexId v = mb.self();
+  const auto now = static_cast<std::uint32_t>(mb.round());
+  if (dist_[v] == graph::kUnreachable && !mb.inbox().empty()) {
+    dist_[v] = now;
+    parent_[v] = mb.inbox().front().from;  // inbox sorted: min-id parent
+  }
+  if (dist_[v] == now) {
+    for (const VertexId w : mb.neighbors()) {
+      if (w != parent_[v]) mb.send(w, Word{v});
+    }
+  }
+}
+
+bool BfsFlood::done(const Network& net) const {
+  return net.round() > 0 && !net.has_pending_messages();
+}
+
+}  // namespace ultra::sim

@@ -1,0 +1,111 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace ultra::sim {
+
+namespace {
+// One (sender, receiver) key for per-round duplicate-send detection.
+constexpr std::uint64_t pair_key(VertexId from, VertexId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+// Per-round duplicate-send guard; function-local so Network stays lean.
+thread_local std::unordered_set<std::uint64_t> g_sent_pairs;
+}  // namespace
+
+std::uint64_t Mailbox::round() const noexcept { return net_.round(); }
+
+const graph::Graph& Mailbox::topology() const noexcept {
+  return net_.graph();
+}
+
+std::span<const VertexId> Mailbox::neighbors() const {
+  return net_.graph().neighbors(self_);
+}
+
+std::span<const Message> Mailbox::inbox() const {
+  return net_.inbox_[self_];
+}
+
+std::uint64_t Mailbox::message_cap() const noexcept {
+  return net_.message_cap();
+}
+
+void Mailbox::send(VertexId to, std::vector<Word> payload) {
+  if (!net_.graph().has_edge(self_, to)) {
+    throw std::invalid_argument("Mailbox::send: " + std::to_string(self_) +
+                                " -> " + std::to_string(to) +
+                                " is not a network link");
+  }
+  if (payload.size() > net_.cap_) {
+    throw MessageTooLong("message of " + std::to_string(payload.size()) +
+                         " words exceeds cap " + std::to_string(net_.cap_));
+  }
+  if (!g_sent_pairs.insert(pair_key(self_, to)).second) {
+    throw std::invalid_argument(
+        "Mailbox::send: second message to the same neighbor in one round");
+  }
+  net_.metrics_.note_message(payload.size());
+  net_.outbox_next_[to].push_back(Message{self_, std::move(payload)});
+}
+
+void Mailbox::send_all(const std::vector<Word>& payload) {
+  for (const VertexId w : neighbors()) send(w, payload);
+}
+
+void Mailbox::stay_awake() { net_.awake_next_[self_] = 1; }
+
+Network::Network(const graph::Graph& g, std::uint64_t message_cap)
+    : graph_(g), cap_(message_cap) {
+  const VertexId n = g.num_vertices();
+  inbox_.resize(n);
+  outbox_next_.resize(n);
+  awake_.assign(n, 1);
+  awake_next_.assign(n, 0);
+}
+
+bool Network::has_pending_messages() const noexcept {
+  for (const auto& box : inbox_) {
+    if (!box.empty()) return true;
+  }
+  return false;
+}
+
+void Network::deliver_outboxes() {
+  for (VertexId v = 0; v < num_nodes(); ++v) {
+    inbox_[v] = std::move(outbox_next_[v]);
+    outbox_next_[v].clear();
+    std::sort(inbox_[v].begin(), inbox_[v].end(),
+              [](const Message& a, const Message& b) { return a.from < b.from; });
+  }
+}
+
+Metrics Network::run(Protocol& protocol, std::uint64_t max_rounds) {
+  protocol.begin(*this);
+  // Everyone participates in round 0 (knows the protocol is starting —
+  // standard synchronous-start assumption).
+  std::fill(awake_.begin(), awake_.end(), 1);
+  for (auto& box : inbox_) box.clear();
+
+  while (!protocol.done(*this)) {
+    if (metrics_.rounds >= max_rounds) {
+      throw std::runtime_error("Network::run: protocol exceeded " +
+                               std::to_string(max_rounds) + " rounds");
+    }
+    g_sent_pairs.clear();
+    std::fill(awake_next_.begin(), awake_next_.end(), 0);
+    for (VertexId v = 0; v < num_nodes(); ++v) {
+      if (!awake_[v] && inbox_[v].empty()) continue;
+      Mailbox mb(*this, v);
+      protocol.on_round(mb);
+    }
+    deliver_outboxes();
+    awake_.swap(awake_next_);
+    ++metrics_.rounds;
+  }
+  return metrics_;
+}
+
+}  // namespace ultra::sim

@@ -1,0 +1,159 @@
+// Synchronous message-passing network simulator.
+//
+// This is the computational model assumed by the paper (Section 1.1): the
+// graph *is* the communication network; each vertex hosts a processor with a
+// unique O(log n)-bit identifier; computation proceeds in synchronized time
+// steps in which each processor may send one message to each neighbor; local
+// computation is free. Algorithms are separated by their maximum message
+// length measured in units of O(log n) bits — we call that unit a Word (one
+// word carries one vertex id or one bounded scalar). A word cap of
+// kUnboundedMessages corresponds to Peleg's LOCAL model; a cap of 1 to
+// CONGEST.
+//
+// The simulator is single-threaded and deterministic: node activations are in
+// id order, inboxes are sorted by sender. All randomness lives in the
+// protocols' explicitly seeded Rngs, so any run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ultra::sim {
+
+using Word = std::uint64_t;
+using graph::VertexId;
+
+inline constexpr std::uint64_t kUnboundedMessages =
+    static_cast<std::uint64_t>(-1);
+
+struct Message {
+  VertexId from = graph::kInvalidVertex;
+  std::vector<Word> payload;
+};
+
+// Cost and compliance accounting for a protocol run.
+struct Metrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_words = 0;
+  std::uint64_t max_message_words = 0;
+
+  void note_message(std::size_t words) noexcept {
+    ++messages;
+    total_words += words;
+    if (words > max_message_words) max_message_words = words;
+  }
+};
+
+// Thrown when a protocol sends a message longer than the configured cap —
+// a protocol implementing the paper correctly must never trigger this (the
+// paper's protocols truncate or cease participation instead).
+class MessageTooLong : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Network;
+
+// The per-round view a node's code receives. Thin handle; cheap to construct.
+class Mailbox {
+ public:
+  Mailbox(Network& net, VertexId self) : net_(net), self_(self) {}
+
+  [[nodiscard]] VertexId self() const noexcept { return self_; }
+  [[nodiscard]] const graph::Graph& topology() const noexcept;
+  [[nodiscard]] std::uint64_t round() const noexcept;
+  [[nodiscard]] std::span<const VertexId> neighbors() const;
+  [[nodiscard]] std::span<const Message> inbox() const;
+  [[nodiscard]] std::uint64_t message_cap() const noexcept;
+
+  // Send `payload` to adjacent vertex `to`, delivered at the start of the
+  // next round. A node may send at most one message per neighbor per round
+  // (enforced); length above the cap throws MessageTooLong.
+  void send(VertexId to, std::vector<Word> payload);
+
+  // Convenience for single-word messages.
+  void send(VertexId to, Word w) { send(to, std::vector<Word>{w}); }
+
+  // Broadcast the same payload to every neighbor.
+  void send_all(const std::vector<Word>& payload);
+
+  // Keep this node scheduled next round even if it receives no message.
+  // (Nodes are always activated in rounds where they have mail.)
+  void stay_awake();
+
+ private:
+  Network& net_;
+  VertexId self_;
+};
+
+// A distributed protocol: one object holding the state of *all* nodes
+// (struct-of-arrays is idiomatic here; "local computation is free" so only
+// the messaging discipline matters). The simulator activates every awake
+// node each round via on_round.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  // Called once before the first round; set up per-node state.
+  virtual void begin(Network& net) = 0;
+
+  // Execute one round of node v's program.
+  virtual void on_round(Mailbox& mb) = 0;
+
+  // Queried after every round; return true to stop.
+  [[nodiscard]] virtual bool done(const Network& net) const = 0;
+};
+
+class Network {
+ public:
+  // message_cap: maximum words per message (kUnboundedMessages = LOCAL).
+  Network(const graph::Graph& g, std::uint64_t message_cap);
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] VertexId num_nodes() const noexcept {
+    return graph_.num_vertices();
+  }
+  [[nodiscard]] std::uint64_t message_cap() const noexcept { return cap_; }
+  [[nodiscard]] std::uint64_t round() const noexcept {
+    return metrics_.rounds;
+  }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  // True if any message is awaiting processing at the start of the next
+  // round; lets quiescence-based protocols detect global termination in
+  // done() (an omniscient-observer convenience — real networks would use a
+  // termination-detection subprotocol, whose cost the paper does not charge).
+  [[nodiscard]] bool has_pending_messages() const noexcept;
+
+  // Run `protocol` until done() or `max_rounds` elapse. Returns the metrics.
+  // Throws std::runtime_error if max_rounds is hit before done() — protocols
+  // in this library must terminate by their analyzed round bounds.
+  Metrics run(Protocol& protocol, std::uint64_t max_rounds);
+
+  // Charge idle rounds (used when a protocol's analysis reserves a fixed
+  // round budget for a phase that finished early at every node; keeps the
+  // reported round count equal to the synchronized schedule).
+  void charge_rounds(std::uint64_t extra) noexcept { metrics_.rounds += extra; }
+
+ private:
+  friend class Mailbox;
+
+  void deliver_outboxes();
+
+  const graph::Graph& graph_;
+  std::uint64_t cap_;
+  Metrics metrics_;
+
+  std::vector<std::vector<Message>> inbox_;       // per node, sorted by from
+  std::vector<std::vector<Message>> outbox_next_; // accumulating sends
+  std::vector<std::uint8_t> sent_to_;             // per-round send dedup scratch
+  std::vector<std::uint8_t> awake_;               // nodes to activate next round
+  std::vector<std::uint8_t> awake_next_;
+};
+
+}  // namespace ultra::sim

@@ -1,0 +1,76 @@
+// Empirical distortion evaluation. The paper's guarantees are per-pair
+// bounds of the form dist_S(u,v) <= alpha * dist(u,v) + beta, with alpha a
+// function of the distance for Fibonacci spanners (Theorem 7). The evaluator
+// measures, for a set of BFS sources (all vertices in exact mode, a random
+// sample otherwise), the multiplicative and additive stretch of every
+// (source, vertex) pair, aggregated overall and per exact distance — the
+// per-distance view is what exhibits the four distortion stages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "spanner/spanner.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ultra::spanner {
+
+struct DistanceBucket {
+  std::uint64_t pairs = 0;
+  double sum_mult = 0.0;
+  double max_mult = 0.0;
+  double sum_add = 0.0;
+  std::uint32_t max_add = 0;
+
+  [[nodiscard]] double mean_mult() const noexcept {
+    return pairs ? sum_mult / static_cast<double>(pairs) : 0.0;
+  }
+  [[nodiscard]] double mean_add() const noexcept {
+    return pairs ? sum_add / static_cast<double>(pairs) : 0.0;
+  }
+};
+
+struct DistortionReport {
+  std::uint64_t pairs = 0;
+  double max_mult = 1.0;   // max dist_S / dist_G over measured pairs, d >= 1
+  double mean_mult = 1.0;
+  std::uint32_t max_add = 0;  // max dist_S - dist_G
+  double mean_add = 0.0;
+  bool connectivity_preserved = true;  // no measured pair became disconnected
+
+  // by_distance[d] aggregates pairs at exact distance d in G (index 0 unused).
+  std::vector<DistanceBucket> by_distance;
+
+  // Smallest beta such that every measured pair satisfies
+  // dist_S <= alpha * dist_G + beta. Negative alpha-surplus clamps to 0.
+  [[nodiscard]] double beta_for_alpha(double alpha) const;
+};
+
+// Exact: BFS from every vertex (counts each unordered pair twice, which does
+// not change maxima or means). O(n * (m + m_S)).
+[[nodiscard]] DistortionReport evaluate_exact(const Graph& g,
+                                              const Spanner& s);
+
+// Sampled: BFS from `num_sources` random distinct sources.
+[[nodiscard]] DistortionReport evaluate_sampled(const Graph& g,
+                                                const Spanner& s,
+                                                std::uint32_t num_sources,
+                                                util::Rng& rng);
+
+// Evaluate with an explicit source list (used by the lower-bound harness,
+// which cares about specific "critical" vertices).
+[[nodiscard]] DistortionReport evaluate_from_sources(
+    const Graph& g, const Spanner& s, std::span<const VertexId> sources);
+
+// Stretch of one pair: {dist_G, dist_S}. dist == kUnreachable if
+// disconnected.
+struct PairStretch {
+  std::uint32_t dist_g = 0;
+  std::uint32_t dist_s = 0;
+};
+[[nodiscard]] PairStretch pair_stretch(const Graph& g, const Graph& s_graph,
+                                       VertexId u, VertexId v);
+
+}  // namespace ultra::spanner

@@ -1,0 +1,33 @@
+#include "spanner/spanner.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace ultra::spanner {
+
+void Spanner::add_edge(VertexId u, VertexId v) {
+  const Edge e = graph::make_edge(u, v);
+  if (!host_->has_edge(e.u, e.v)) {
+    throw std::invalid_argument("Spanner::add_edge: (" + std::to_string(u) +
+                                "," + std::to_string(v) +
+                                ") is not a host edge");
+  }
+  if (keys_.insert(graph::edge_key(e)).second) edges_.push_back(e);
+}
+
+void Spanner::add_path(std::span<const VertexId> path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    add_edge(path[i], path[i + 1]);
+  }
+}
+
+void Spanner::add_all_incident(VertexId v) {
+  for (const VertexId w : host_->neighbors(v)) add_edge(v, w);
+}
+
+Graph Spanner::to_graph() const {
+  return Graph::from_edges(host_->num_vertices(),
+                           std::vector<Edge>(edges_.begin(), edges_.end()));
+}
+
+}  // namespace ultra::spanner

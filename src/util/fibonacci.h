@@ -1,0 +1,38 @@
+// Fibonacci numbers and the golden ratio, used throughout Section 4 of the
+// paper (Fibonacci spanners). F_0 = 0, F_1 = 1, F_k = F_{k-1} + F_{k-2}.
+// F_92 < 2^63 < F_93, so uint64 holds every value this library needs
+// (o <= log_phi log n <= ~6 for any real n, so indices stay tiny anyway).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace ultra::util {
+
+inline constexpr double kGoldenRatio = 1.6180339887498948482;  // (1+sqrt 5)/2
+
+// F_k, throws std::out_of_range for k > 92 (would overflow uint64).
+[[nodiscard]] constexpr std::uint64_t fibonacci(unsigned k) {
+  if (k > 92) throw std::out_of_range("fibonacci: k > 92 overflows uint64");
+  std::uint64_t a = 0, b = 1;  // F_0, F_1
+  for (unsigned i = 0; i < k; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+// Largest o such that phi^o <= x, i.e. floor(log_phi x), for x >= 1.
+[[nodiscard]] constexpr unsigned floor_log_phi(double x) noexcept {
+  if (x < 1.0) return 0;
+  unsigned o = 0;
+  double p = kGoldenRatio;
+  while (p <= x && o < 256) {
+    ++o;
+    p *= kGoldenRatio;
+  }
+  return o;
+}
+
+}  // namespace ultra::util

@@ -1,0 +1,92 @@
+// Saturating unsigned arithmetic. The tower sequence s_i = s_{i-1}^{s_{i-1}}
+// from Section 2 of the paper overflows any fixed-width integer almost
+// immediately (D = 4 gives s_2 = 256 and s_3 = 256^256); the algorithm only
+// ever compares these quantities against values polynomial in n, so clamping
+// at 2^64 - 1 is semantically exact for every comparison the code performs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ultra::util {
+
+inline constexpr std::uint64_t kSaturated =
+    std::numeric_limits<std::uint64_t>::max();
+
+[[nodiscard]] constexpr std::uint64_t sat_add(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s < a ? kSaturated : s;
+}
+
+[[nodiscard]] constexpr std::uint64_t sat_mul(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+// a^b, saturating. 0^0 == 1 by convention.
+[[nodiscard]] constexpr std::uint64_t sat_pow(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  std::uint64_t result = 1;
+  std::uint64_t base = a;
+  while (b > 0) {
+    if (b & 1) {
+      result = sat_mul(result, base);
+      if (result == kSaturated) return kSaturated;
+    }
+    b >>= 1;
+    if (b > 0) {
+      base = sat_mul(base, base);
+      if (base == kSaturated && result != 0) {
+        // Any further set bit in b saturates the product.
+        // (result >= 1 always holds here.)
+        return kSaturated;
+      }
+    }
+  }
+  return result;
+}
+
+// floor(log2(x)) for x >= 1; 0 for x == 0.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t x) noexcept {
+  unsigned r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+// ceil(log2(x)) for x >= 1; 0 for x <= 1.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+// The iterated logarithm log* x (base 2): number of times log2 must be
+// applied before the result is <= 1.
+[[nodiscard]] constexpr unsigned log_star(std::uint64_t x) noexcept {
+  unsigned count = 0;
+  // Work in doubles after the first step; the chain shrinks so fast that
+  // precision is irrelevant (values of interest: 2, 4, 16, 65536, 2^65536).
+  double v = static_cast<double>(x);
+  while (v > 1.0) {
+    // log2
+    double lg = 0.0;
+    while (v >= 2.0) {
+      v /= 2.0;
+      lg += 1.0;
+    }
+    // v in [1,2): add fractional part via a few bisection steps (coarse is
+    // fine; log* only needs the integer trajectory).
+    if (v > 1.0) lg += (v - 1.0);  // linear approx of log2 on [1,2)
+    v = lg;
+    ++count;
+    if (count > 8) break;  // unreachable for uint64 inputs; safety net
+  }
+  return count;
+}
+
+}  // namespace ultra::util

@@ -1,0 +1,28 @@
+#include "util/stats.h"
+
+#include <algorithm>
+
+namespace ultra::util {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  if (p <= 0.0) return *std::min_element(values.begin(), values.end());
+  if (p >= 100.0) return *std::max_element(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::max(0.0, p / 100.0 * static_cast<double>(values.size()) - 1.0) +
+      0.5);
+  const auto idx = std::min(rank, values.size() - 1);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(idx),
+                   values.end());
+  return values[idx];
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (const double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+}  // namespace ultra::util

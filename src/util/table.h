@@ -1,0 +1,39 @@
+// Minimal fixed-width ASCII table printer for the benchmark harnesses. The
+// benches regenerate the paper's tables/figures as text; this keeps their
+// output aligned and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ultra::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+  Table& cell(unsigned value);
+  // Doubles are rendered with the given precision (default 3 significant
+  // decimals after the point).
+  Table& cell(double value, int precision = 3);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Convenience: format a double with fixed precision.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace ultra::util

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ultra::graph {
+namespace {
+
+TEST(Components, CountsAndSizes) {
+  const Graph g = Graph::from_edges(7, {{0, 1}, {1, 2}, {3, 4}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4u);  // {0,1,2}, {3,4}, {5}, {6}
+  const auto sizes = c.sizes();
+  std::multiset<std::uint32_t> ms(sizes.begin(), sizes.end());
+  EXPECT_EQ(ms, (std::multiset<std::uint32_t>{3, 2, 1, 1}));
+  EXPECT_EQ(sizes[c.largest()], 3u);
+}
+
+TEST(Components, IsConnected) {
+  util::Rng rng(1);
+  EXPECT_TRUE(is_connected(connected_gnm(50, 60, rng)));
+  EXPECT_FALSE(is_connected(Graph::from_edges(4, {{0, 1}, {2, 3}})));
+  EXPECT_TRUE(is_connected(Graph::from_edges(1, {})));
+  EXPECT_TRUE(is_connected(Graph()));
+}
+
+TEST(Components, SameConnectivity) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  const Graph sub = Graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  const Graph broken = Graph::from_edges(5, {{0, 1}, {3, 4}});
+  EXPECT_TRUE(same_connectivity(g, sub));
+  EXPECT_FALSE(same_connectivity(g, broken));
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                        {4, 5}, {5, 0}});
+  const std::vector<VertexId> keep{0, 1, 2, 5};
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_vertices(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);  // (0,1), (1,2), (5,0)
+  // Mapping round-trips.
+  for (VertexId nv = 0; nv < sub.graph.num_vertices(); ++nv) {
+    EXPECT_EQ(sub.from_original[sub.to_original[nv]], nv);
+  }
+  EXPECT_EQ(sub.from_original[3], kInvalidVertex);
+}
+
+TEST(InducedSubgraph, LargestComponent) {
+  const Graph g = Graph::from_edges(8, {{0, 1}, {1, 2}, {2, 0}, {3, 4},
+                                        {5, 6}, {6, 7}, {7, 5}, {5, 7}});
+  const InducedSubgraph sub = largest_component_subgraph(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_TRUE(is_connected(sub.graph));
+}
+
+TEST(UnionFind, UniteAndFind) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.find(1), uf.find(2));
+  EXPECT_NE(uf.find(4), uf.find(5));
+}
+
+}  // namespace
+}  // namespace ultra::graph

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "graph/contraction.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ultra::graph {
+namespace {
+
+TEST(Contract, BasicQuotient) {
+  // Square 0-1-2-3; contract {0,1} and {2,3}.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const std::vector<std::uint32_t> part{0, 0, 1, 1};
+  const ContractedGraph q = contract(g, part, 2);
+  EXPECT_EQ(q.graph.num_vertices(), 2u);
+  EXPECT_EQ(q.graph.num_edges(), 1u);  // parallel (1,2) and (3,0) merge
+  const Edge rep = q.representative_of(0, 1);
+  // Representative must be one of the two crossing edges.
+  EXPECT_TRUE((rep == Edge{1, 2}) || (rep == Edge{0, 3}));
+}
+
+TEST(Contract, DroppedVerticesVanish) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const std::vector<std::uint32_t> part{0, 0, kDroppedVertex, 1, 1};
+  const ContractedGraph q = contract(g, part, 2);
+  EXPECT_EQ(q.graph.num_vertices(), 2u);
+  EXPECT_EQ(q.graph.num_edges(), 0u);  // only connections were through 2
+}
+
+TEST(Contract, ChainedRepresentativesPointToOriginal) {
+  // Path 0-1-2-3-4-5; contract pairs, then contract again.
+  const Graph g =
+      Graph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  const std::vector<std::uint32_t> part1{0, 0, 1, 1, 2, 2};
+  const ContractedGraph q1 = contract(g, part1, 3);
+  EXPECT_EQ(q1.graph.num_edges(), 2u);
+  EXPECT_EQ(q1.representative_of(0, 1), (Edge{1, 2}));
+  EXPECT_EQ(q1.representative_of(1, 2), (Edge{3, 4}));
+
+  const std::vector<std::uint32_t> part2{0, 0, 1};
+  const ContractedGraph q2 =
+      contract(q1.graph, part2, 2, q1.representative);
+  EXPECT_EQ(q2.graph.num_edges(), 1u);
+  // The representative of the quotient-of-quotient edge is an edge of the
+  // ORIGINAL path, namely (3,4).
+  EXPECT_EQ(q2.representative_of(0, 1), (Edge{3, 4}));
+}
+
+TEST(Contract, SelfLoopsDiscarded) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  const std::vector<std::uint32_t> part{0, 0, 1};
+  const ContractedGraph q = contract(g, part, 2);
+  EXPECT_EQ(q.graph.num_edges(), 1u);  // (0,1) became a loop
+}
+
+TEST(Contract, SizeMismatchThrows) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  const std::vector<std::uint32_t> part{0, 0};
+  EXPECT_THROW(contract(g, part, 1), std::invalid_argument);
+}
+
+TEST(Contract, RepresentativesAreOriginalEdges) {
+  util::Rng rng(12);
+  const Graph g = erdos_renyi_gnm(60, 150, rng);
+  std::vector<std::uint32_t> part(60);
+  for (auto& x : part) x = static_cast<std::uint32_t>(rng.next_below(8));
+  const ContractedGraph q = contract(g, part, 8);
+  ASSERT_EQ(q.representative.size(), q.graph.num_edges());
+  for (std::size_t i = 0; i < q.representative.size(); ++i) {
+    const Edge orig = q.representative[i];
+    EXPECT_TRUE(g.has_edge(orig.u, orig.v));
+    const Edge qe = q.graph.edges()[i];
+    // The original edge's endpoints are in the right parts.
+    EXPECT_EQ(std::min(part[orig.u], part[orig.v]), qe.u);
+    EXPECT_EQ(std::max(part[orig.u], part[orig.v]), qe.v);
+  }
+}
+
+TEST(Contract, RepresentativeOfMissingEdgeThrows) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const std::vector<std::uint32_t> part{0, 0, 1, 1};
+  const ContractedGraph q = contract(g, part, 2);
+  EXPECT_THROW(static_cast<void>(q.representative_of(0, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ultra::graph

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/expand.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ultra::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+std::vector<std::pair<VertexId, VertexId>> collect(
+    ClusterState& state, double p, util::Rng& rng, ExpandOutcome* out = nullptr) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  const ExpandOutcome o = expand(state, p, rng, [&](VertexId a, VertexId b) {
+    edges.emplace_back(a, b);
+  });
+  if (out) *out = o;
+  return edges;
+}
+
+TEST(ClusterState, TrivialIsValid) {
+  const Graph g = graph::cycle_graph(6);
+  ClusterState s = ClusterState::trivial(g);
+  EXPECT_EQ(s.num_alive(), 6u);
+  EXPECT_EQ(s.live_cluster_ids().size(), 6u);
+  EXPECT_NO_THROW(s.check_valid());
+}
+
+TEST(Expand, ProbabilityOneKeepsEveryoneNoEdges) {
+  const Graph g = graph::complete_graph(8);
+  ClusterState s = ClusterState::trivial(g);
+  util::Rng rng(1);
+  ExpandOutcome out;
+  const auto edges = collect(s, 1.0, rng, &out);
+  EXPECT_TRUE(edges.empty());
+  EXPECT_EQ(out.clusters_sampled, 8u);
+  EXPECT_EQ(out.vertices_died, 0u);
+  EXPECT_EQ(s.num_alive(), 8u);
+  EXPECT_NO_THROW(s.check_valid());
+}
+
+TEST(Expand, ProbabilityZeroKillsAllWithOneEdgePerAdjacentCluster) {
+  const Graph g = graph::complete_graph(6);
+  ClusterState s = ClusterState::trivial(g);
+  util::Rng rng(1);
+  ExpandOutcome out;
+  const auto edges = collect(s, 0.0, rng, &out);
+  EXPECT_EQ(out.vertices_died, 6u);
+  EXPECT_EQ(s.num_alive(), 0u);
+  // Each vertex selects one edge per adjacent singleton cluster: 5 each.
+  EXPECT_EQ(edges.size(), 30u);
+}
+
+TEST(Expand, IsolatedVertexDiesSilently) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  ClusterState s = ClusterState::trivial(g);
+  util::Rng rng(1);
+  const auto edges = collect(s, 0.0, rng);
+  EXPECT_EQ(s.num_alive(), 0u);
+  // Vertex 2 contributed nothing; 0 and 1 one edge each (same edge, selected
+  // twice -> reported twice by the callback, deduped by the spanner).
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(Expand, JoinersAttachToSampledCluster) {
+  // Star: center 0, leaves 1..5. Force sampling so that only cluster {0} is
+  // sampled (p such that the first draw wins is fragile; instead verify the
+  // general invariant over many random runs).
+  const Graph g = graph::complete_bipartite(1, 5);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    ClusterState s = ClusterState::trivial(g);
+    util::Rng rng(seed);
+    collect(s, 0.5, rng);
+    s.check_valid();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!s.alive[v]) continue;
+      const VertexId c = s.cluster_of[v];
+      // Members are within distance 1 of their center in this star graph.
+      EXPECT_TRUE(c == v || g.has_edge(c, v));
+    }
+  }
+}
+
+TEST(Expand, DeadVerticesStayDead) {
+  const Graph g = graph::cycle_graph(10);
+  ClusterState s = ClusterState::trivial(g);
+  util::Rng rng(5);
+  collect(s, 0.3, rng);
+  const auto alive_after_first = s.alive;
+  collect(s, 1.0, rng);  // p=1: nobody new dies
+  EXPECT_EQ(s.alive, alive_after_first);
+}
+
+TEST(Expand, ClusterInvariantHoldsOverManyCalls) {
+  util::Rng graph_rng(7);
+  const Graph g = graph::connected_gnm(200, 600, graph_rng);
+  ClusterState s = ClusterState::trivial(g);
+  util::Rng rng(11);
+  for (int call = 0; call < 5; ++call) {
+    collect(s, 0.4, rng);
+    ASSERT_NO_THROW(s.check_valid());
+    // Radii grow at most once per call.
+    for (VertexId c = 0; c < g.num_vertices(); ++c) {
+      EXPECT_LE(s.radius[c], static_cast<std::uint32_t>(call + 1));
+    }
+  }
+}
+
+TEST(Expand, SelectedEdgesAreGraphEdges) {
+  util::Rng graph_rng(9);
+  const Graph g = graph::erdos_renyi_gnm(100, 300, graph_rng);
+  ClusterState s = ClusterState::trivial(g);
+  util::Rng rng(13);
+  for (int call = 0; call < 3; ++call) {
+    for (const auto& [a, b] : collect(s, 0.3, rng)) {
+      EXPECT_TRUE(g.has_edge(a, b));
+    }
+  }
+}
+
+TEST(Expand, DyingVertexSelectsOneEdgePerDistinctCluster) {
+  // Path 0-1-2: with p=0, vertex 1 is adjacent to clusters {0} and {2} and
+  // must select exactly 2 edges.
+  const Graph g = graph::path_graph(3);
+  ClusterState s = ClusterState::trivial(g);
+  util::Rng rng(1);
+  const auto edges = collect(s, 0.0, rng);
+  std::set<std::pair<VertexId, VertexId>> from_1;
+  for (const auto& e : edges) {
+    if (e.first == 1) from_1.insert(e);
+  }
+  EXPECT_EQ(from_1.size(), 2u);
+}
+
+TEST(Expand, DeterministicForSeed) {
+  util::Rng graph_rng(15);
+  const Graph g = graph::erdos_renyi_gnm(80, 200, graph_rng);
+  auto run = [&](std::uint64_t seed) {
+    ClusterState s = ClusterState::trivial(g);
+    util::Rng rng(seed);
+    std::vector<std::pair<VertexId, VertexId>> all;
+    for (int i = 0; i < 4; ++i) {
+      auto e = collect(s, 0.35, rng);
+      all.insert(all.end(), e.begin(), e.end());
+    }
+    return all;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace ultra::core

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fib_distortion.h"
+#include "util/saturating.h"
+
+namespace ultra::core {
+namespace {
+
+TEST(FibRecurrences, BaseCases) {
+  const FibRecurrences r = fib_recurrences(5, 1);
+  EXPECT_EQ(r.C[0], 1u);
+  EXPECT_EQ(r.I[0], 1u);
+  EXPECT_EQ(r.C[1], 7u);  // ell + 2
+  EXPECT_EQ(r.I[1], 6u);  // ell + 1
+}
+
+TEST(FibRecurrences, Lemma10ExactValuesEll1) {
+  // I_1^i = (2^{i+2} - 1)/3 (i even), (2^{i+2} - 2)/3 (i odd);
+  // C_1^i = 2^{i+1} - 1.
+  const FibRecurrences r = fib_recurrences(1, 8);
+  for (unsigned i = 0; i <= 8; ++i) {
+    const std::uint64_t pow_val = std::uint64_t{1} << (i + 2);
+    const std::uint64_t want_i =
+        (i % 2 == 0) ? (pow_val - 1) / 3 : (pow_val - 2) / 3;
+    EXPECT_EQ(r.I[i], want_i) << "I at i=" << i;
+    EXPECT_EQ(r.C[i], (std::uint64_t{1} << (i + 1)) - 1) << "C at i=" << i;
+  }
+}
+
+TEST(FibRecurrences, Lemma10BoundsEll2) {
+  // Lemma 10's ell = 2 computation rounds the recurrence's
+  // ell^i + (ell-1) ell^{i-2} = 2^i + 2^{i-2} term up to (3/2) 2^i, so its
+  // I_2^i = (i + 2/3) 2^i + (-1)^i/3 is an upper bound on the exact
+  // recurrence (and C_2^i <= 3(i+1) 2^i likewise).
+  const FibRecurrences r = fib_recurrences(2, 10);
+  for (unsigned i = 0; i <= 10; ++i) {
+    const double lemma10 =
+        (static_cast<double>(i) + 2.0 / 3.0) * std::exp2(i) +
+        ((i % 2 == 0) ? 1.0 : -1.0) / 3.0;
+    EXPECT_LE(static_cast<double>(r.I[i]), lemma10 + 1e-9) << "i=" << i;
+    // ... and within a constant factor (the rounding loses at most 2x).
+    EXPECT_GE(2.0 * static_cast<double>(r.I[i]), lemma10) << "i=" << i;
+    EXPECT_LE(static_cast<double>(r.C[i]),
+              3.0 * (i + 1.0) * std::exp2(i) + 1e-9);
+  }
+}
+
+TEST(FibRecurrences, ClosedFormsDominateRecurrences) {
+  for (const std::uint32_t ell : {3u, 4u, 7u, 12u, 20u}) {
+    const FibRecurrences r = fib_recurrences(ell, 6);
+    for (unsigned i = 0; i <= 6; ++i) {
+      if (r.C[i] == util::kSaturated) continue;
+      EXPECT_LE(static_cast<double>(r.C[i]), fib_c_closed(ell, i) + 1e-6)
+          << "C ell=" << ell << " i=" << i;
+      EXPECT_LE(static_cast<double>(r.I[i]), fib_i_closed(ell, i) + 1e-6)
+          << "I ell=" << ell << " i=" << i;
+    }
+  }
+}
+
+TEST(FibRecurrences, StretchTendsTo3ThenBelow) {
+  // C^i/ell^i tends to c_ell = 3 + (6 ell - 2)/(ell (ell - 2)), which tends
+  // to 3 as ell grows (stage 3 of Theorem 7), and toward 1 for the
+  // (1+eps) regime when i is fixed and ell >> i (stage 4).
+  const double s_small = fib_predicted_stretch(5, 4);
+  const double s_big = fib_predicted_stretch(50, 4);
+  EXPECT_GT(s_small, s_big);
+  EXPECT_LT(s_big, 1.5);  // large ell, moderate i: close to 1
+  const double limit = 3.0 + (6.0 * 8 - 2) / (8.0 * 6.0);
+  EXPECT_NEAR(fib_predicted_stretch(8, 20), limit, 0.6);
+}
+
+TEST(FibRecurrences, SecondClosedFormTightForLargeEll) {
+  // For ell >> i the min in Lemma 10 is attained by ell^i + 2 c' i ell^{i-1},
+  // giving stretch 1 + O(i/ell).
+  const std::uint32_t ell = 100;
+  const unsigned i = 3;
+  const double bound = fib_c_closed(ell, i);
+  const double li = std::pow(100.0, 3.0);
+  EXPECT_LT(bound, li * 1.1);
+  EXPECT_GE(bound, li);
+}
+
+TEST(FibPairBound, SmallDistances) {
+  // d = 1 -> lambda = 1 -> C_1^o = 2^{o+1} - 1 (Theorem 7's first stage).
+  EXPECT_EQ(fib_pair_bound(10, 3, 1), 15u);
+  EXPECT_EQ(fib_pair_bound(10, 4, 1), 31u);
+  // d = 2^o -> lambda = 2 -> C_2^o <= 3(o+1)2^o.
+  EXPECT_LE(fib_pair_bound(10, 3, 8),
+            static_cast<std::uint64_t>(3 * 4 * 8));
+}
+
+TEST(FibPairBound, MonotoneInD) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t d = 1; d <= 2000; d += 37) {
+    const std::uint64_t b = fib_pair_bound(12, 3, d);
+    EXPECT_GE(b, d);
+    EXPECT_GE(b + fib_pair_bound(12, 3, 37), prev);  // near-monotone growth
+    prev = b;
+  }
+}
+
+TEST(FibPairBound, ChoppingBeyondEllMinus2) {
+  const std::uint32_t ell = 5;
+  const unsigned o = 2;
+  const std::uint64_t piece = 9;  // (ell-2)^o
+  const std::uint64_t c_piece = fib_recurrences(3, o).C[o];
+  EXPECT_EQ(fib_pair_bound(ell, o, piece * 4), 4 * c_piece);
+}
+
+TEST(FibPairBound, DegenerateParams) {
+  EXPECT_EQ(fib_pair_bound(10, 3, 0), 0u);
+  EXPECT_EQ(fib_pair_bound(2, 3, 5), util::kSaturated);
+  EXPECT_EQ(fib_pair_bound(10, 0, 5), util::kSaturated);
+}
+
+}  // namespace
+}  // namespace ultra::core

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fib_distortion.h"
+#include "core/fibonacci.h"
+#include "graph/bfs.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "spanner/evaluate.h"
+#include "util/fibonacci.h"
+#include "util/rng.h"
+
+namespace ultra::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(FibLevels, PlanBasicShape) {
+  const FibonacciLevels lv =
+      FibonacciLevels::plan(100000, {.order = 3, .eps = 0.5});
+  EXPECT_GE(lv.order, 1u);
+  EXPECT_LE(lv.order, 3u);
+  EXPECT_EQ(lv.ell, static_cast<std::uint32_t>(std::ceil(3.0 * 3 / 0.5)) + 2);
+  ASSERT_EQ(lv.q.size(), lv.order + 1);
+  EXPECT_DOUBLE_EQ(lv.q[0], 1.0);
+  for (std::size_t i = 1; i < lv.q.size(); ++i) {
+    EXPECT_LE(lv.q[i], lv.q[i - 1]);
+    EXPECT_GE(lv.q[i], 1.0 / 100000.0);
+  }
+}
+
+TEST(FibLevels, Lemma8FirstProbability) {
+  // q_1 = n^{-alpha} ell^{-phi} with alpha = 1/(F_{o+3}-1).
+  const std::uint64_t n = 1 << 16;
+  const unsigned o = 2;
+  const FibonacciLevels lv =
+      FibonacciLevels::plan(n, {.order = o, .eps = 1.0, .ell = 8});
+  const double alpha = 1.0 / (static_cast<double>(util::fibonacci(o + 3)) - 1);
+  const double want = std::pow(static_cast<double>(n), -alpha) *
+                      std::pow(8.0, -util::kGoldenRatio);
+  EXPECT_NEAR(lv.q[1], want, want * 1e-9);
+}
+
+TEST(FibLevels, MessageAdjustmentBoundsRatios) {
+  const std::uint64_t n = 1 << 20;
+  const FibonacciLevels lv = FibonacciLevels::plan(
+      n, {.order = 4, .eps = 0.5, .ell = 0, .message_t = 4.0});
+  const double cap = std::pow(static_cast<double>(n), 1.0 / 4.0);
+  for (std::size_t i = 0; i + 1 < lv.q.size(); ++i) {
+    EXPECT_LE(lv.q[i] / lv.q[i + 1], cap * (1.0 + 1e-9)) << "i=" << i;
+  }
+  // Order grows by at most t.
+  const FibonacciLevels base = FibonacciLevels::plan(
+      n, {.order = 4, .eps = 0.5, .ell = 0, .message_t = 0.0});
+  EXPECT_LE(lv.order, base.order + 4);
+}
+
+TEST(FibLevels, RadiusSaturates) {
+  FibonacciLevels lv;
+  lv.ell = 100;
+  lv.order = 9;
+  EXPECT_EQ(lv.radius(0), 1u);
+  EXPECT_EQ(lv.radius(2), 10000u);
+  EXPECT_EQ(lv.radius(9), std::uint32_t{1} << 31);
+}
+
+TEST(FibLevels, SampleLevelsNested) {
+  util::Rng rng(3);
+  const FibonacciLevels lv =
+      FibonacciLevels::plan(5000, {.order = 3, .eps = 1.0, .ell = 5});
+  const auto level = lv.sample_levels(5000, rng);
+  std::vector<std::uint64_t> counts(lv.order + 1, 0);
+  for (const unsigned l : level) {
+    ASSERT_LE(l, lv.order);
+    for (unsigned i = 0; i <= l; ++i) ++counts[i];
+  }
+  EXPECT_EQ(counts[0], 5000u);
+  // |V_i| concentrates near q_i * n.
+  for (unsigned i = 1; i <= lv.order; ++i) {
+    const double expect = lv.q[i] * 5000.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expect,
+                5.0 * std::sqrt(expect) + 8.0)
+        << "level " << i;
+  }
+}
+
+// Fixed, deterministic levels for structural checks.
+std::vector<unsigned> deterministic_levels(VertexId n, unsigned order) {
+  std::vector<unsigned> level(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    unsigned l = 0;
+    std::uint32_t step = 13;
+    for (unsigned i = 1; i <= order; ++i) {
+      step *= 7;
+      if (v % step == 0) l = i; else break;
+    }
+    level[v] = l;
+  }
+  return level;
+}
+
+TEST(Fibonacci, ParentPathsAreExactInSpanner) {
+  util::Rng rng(5);
+  const Graph g = graph::connected_gnm(400, 1600, rng);
+  FibonacciLevels lv = FibonacciLevels::plan(400, {.order = 2, .eps = 1.0,
+                                                   .ell = 5});
+  const auto level = deterministic_levels(400, lv.order);
+  const auto result = build_fibonacci_with_levels(g, lv, level);
+  const Graph sg = result.spanner.to_graph();
+
+  for (unsigned i = 1; i <= lv.order; ++i) {
+    std::vector<VertexId> vi;
+    for (VertexId v = 0; v < 400; ++v) {
+      if (level[v] >= i) vi.push_back(v);
+    }
+    if (vi.empty()) continue;
+    const auto ms = graph::multi_source_bfs(g, vi, lv.radius(i - 1));
+    for (VertexId v = 0; v < 400; ++v) {
+      if (ms.dist[v] == graph::kUnreachable) continue;
+      // dist_S(v, p_i(v)) == dist_G(v, V_i): the parent path is exact.
+      const auto ds = graph::bfs_distances(sg, v, ms.dist[v] + 1);
+      EXPECT_EQ(ds[ms.nearest[v]], ms.dist[v]) << "level " << i << " v " << v;
+    }
+  }
+}
+
+struct FibCase {
+  const char* family;
+  VertexId n;
+  std::uint64_t m;
+  unsigned order;
+  std::uint32_t ell;
+  std::uint64_t seed;
+};
+
+class FibonacciProperty : public ::testing::TestWithParam<FibCase> {};
+
+Graph make_fib_graph(const FibCase& c, util::Rng& rng) {
+  const std::string fam = c.family;
+  if (fam == "gnm") return graph::connected_gnm(c.n, c.m, rng);
+  if (fam == "chain") return graph::clique_chain(c.n / 12, 8, 4);
+  if (fam == "torus") {
+    const auto side = static_cast<VertexId>(std::sqrt(c.n));
+    return graph::torus_graph(side, side);
+  }
+  ADD_FAILURE() << "unknown family";
+  return Graph();
+}
+
+TEST_P(FibonacciProperty, DistortionWithinTheorem7Bound) {
+  const FibCase c = GetParam();
+  util::Rng rng(c.seed);
+  const Graph g = make_fib_graph(c, rng);
+  const FibonacciParams params{.order = c.order, .eps = 1.0, .ell = c.ell,
+                               .message_t = 0.0, .seed = c.seed};
+  const auto result = build_fibonacci(g, params);
+  const auto& lv = result.stats.levels;
+
+  EXPECT_TRUE(
+      graph::same_connectivity(g, result.spanner.to_graph()));
+
+  const auto report = spanner::evaluate_sampled(g, result.spanner, 20, rng);
+  EXPECT_TRUE(report.connectivity_preserved);
+  for (std::size_t d = 1; d < report.by_distance.size(); ++d) {
+    if (report.by_distance[d].pairs == 0) continue;
+    const std::uint64_t worst = d + report.by_distance[d].max_add;
+    EXPECT_LE(worst, fib_pair_bound(lv.ell, lv.order, d))
+        << "family=" << c.family << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FibonacciProperty,
+    ::testing::Values(FibCase{"gnm", 500, 3000, 2, 6, 1},
+                      FibCase{"gnm", 500, 3000, 2, 6, 2},
+                      FibCase{"gnm", 800, 6000, 3, 8, 3},
+                      FibCase{"gnm", 800, 2400, 2, 10, 4},
+                      FibCase{"chain", 600, 0, 2, 6, 5},
+                      FibCase{"chain", 960, 0, 3, 8, 6},
+                      FibCase{"torus", 900, 0, 2, 8, 7},
+                      FibCase{"torus", 1600, 0, 3, 10, 8}),
+    [](const ::testing::TestParamInfo<FibCase>& info) {
+      return std::string(info.param.family) + "_n" +
+             std::to_string(info.param.n) + "_o" +
+             std::to_string(info.param.order) + "_l" +
+             std::to_string(info.param.ell) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Fibonacci, BallMembersReachedExactly) {
+  // For every v ∈ V_{i-1} and u ∈ B_{i+1,ell}(v), dist_S(v,u) = dist_G(v,u).
+  util::Rng rng(9);
+  const Graph g = graph::connected_gnm(300, 1500, rng);
+  const FibonacciLevels lv =
+      FibonacciLevels::plan(300, {.order = 2, .eps = 1.0, .ell = 4});
+  const auto level = deterministic_levels(300, lv.order);
+  const auto result = build_fibonacci_with_levels(g, lv, level);
+  const Graph sg = result.spanner.to_graph();
+
+  const unsigned i = 1;
+  std::vector<VertexId> vi1, vi2;
+  for (VertexId v = 0; v < 300; ++v) {
+    if (level[v] >= i) vi1.push_back(v);
+    if (level[v] >= i + 1) vi2.push_back(v);
+  }
+  const auto lim = graph::multi_source_bfs(g, vi2, lv.radius(i));
+  for (VertexId v = 0; v < 300; ++v) {  // v ∈ V_0 = V_{i-1}
+    const auto dg = graph::bfs_distances(g, v, lv.radius(i));
+    const auto ds = graph::bfs_distances(sg, v);
+    for (const VertexId u : vi1) {
+      if (dg[u] == graph::kUnreachable || dg[u] == 0) continue;
+      const bool within_limiter =
+          lim.dist[v] == graph::kUnreachable || dg[u] < lim.dist[v];
+      if (within_limiter) {
+        EXPECT_EQ(ds[u], dg[u]) << "v=" << v << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST(Fibonacci, StatsAccountingConsistent) {
+  util::Rng rng(11);
+  const Graph g = graph::connected_gnm(600, 3600, rng);
+  const auto result =
+      build_fibonacci(g, {.order = 3, .eps = 1.0, .ell = 6, .seed = 4});
+  const auto& st = result.stats;
+  EXPECT_EQ(st.level_sizes[0], 600u);
+  for (unsigned i = 1; i <= st.levels.order; ++i) {
+    EXPECT_LE(st.level_sizes[i], st.level_sizes[i - 1]);
+  }
+  std::uint64_t accounted = 0;
+  for (const auto x : st.parent_edges) accounted += x;
+  for (const auto x : st.ball_edges) accounted += x;
+  // Edge sets overlap (paths share edges), so the sum over-counts.
+  EXPECT_GE(accounted, st.spanner_size);
+  EXPECT_EQ(st.spanner_size, result.spanner.size());
+}
+
+TEST(Fibonacci, DeterministicForSeed) {
+  util::Rng rng(13);
+  const Graph g = graph::connected_gnm(300, 1200, rng);
+  const FibonacciParams p{.order = 2, .eps = 1.0, .ell = 5, .seed = 77};
+  const auto a = build_fibonacci(g, p);
+  const auto b = build_fibonacci(g, p);
+  EXPECT_EQ(a.stats.spanner_size, b.stats.spanner_size);
+}
+
+}  // namespace
+}  // namespace ultra::core

@@ -1,0 +1,190 @@
+// End-to-end integration tests: full pipelines over awkward inputs
+// (disconnected graphs, isolated vertices, stars, dense blobs), direct
+// ClusterProtocol schedules, and cross-algorithm consistency checks.
+#include <gtest/gtest.h>
+
+#include "baselines/baswana_sen.h"
+#include "core/cluster_protocol.h"
+#include "core/fibonacci.h"
+#include "core/fibonacci_distributed.h"
+#include "core/skeleton.h"
+#include "core/skeleton_distributed.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "spanner/evaluate.h"
+#include "util/rng.h"
+
+namespace ultra {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+Graph awkward_graph(std::uint64_t seed) {
+  // Two random components, a star, a long path, and isolated vertices.
+  util::Rng rng(seed);
+  graph::GraphBuilder b;
+  const Graph a = graph::connected_gnm(150, 600, rng);
+  for (const auto& e : a.edges()) b.add_edge(e.u, e.v);
+  const Graph c = graph::connected_gnm(100, 250, rng);
+  for (const auto& e : c.edges()) b.add_edge(e.u + 150, e.v + 150);
+  for (VertexId leaf = 251; leaf < 290; ++leaf) b.add_edge(250, leaf);
+  for (VertexId v = 290; v < 330; ++v) b.add_edge(v, v + 1);
+  b.ensure_vertex(340);  // isolated 331..340
+  return std::move(b).build();
+}
+
+TEST(Integration, SkeletonHandlesAwkwardTopology) {
+  const Graph g = awkward_graph(1);
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto seq = core::build_skeleton(g, {.D = 4, .eps = 1.0, .seed = seed});
+    EXPECT_TRUE(graph::same_connectivity(g, seq.spanner.to_graph()));
+    const auto dist =
+        core::build_skeleton_distributed(g, {.D = 4, .eps = 1.0, .seed = seed});
+    EXPECT_TRUE(graph::same_connectivity(g, dist.spanner.to_graph()));
+    const auto rep = spanner::evaluate_exact(g, dist.spanner);
+    EXPECT_TRUE(rep.connectivity_preserved);
+    EXPECT_LE(rep.max_mult,
+              static_cast<double>(dist.schedule.distortion_bound));
+  }
+}
+
+TEST(Integration, FibonacciHandlesAwkwardTopology) {
+  const Graph g = awkward_graph(2);
+  const auto seq =
+      core::build_fibonacci(g, {.order = 2, .eps = 1.0, .ell = 5, .seed = 7});
+  EXPECT_TRUE(graph::same_connectivity(g, seq.spanner.to_graph()));
+  const auto dist = core::build_fibonacci_distributed(
+      g, {.order = 2, .eps = 1.0, .ell = 5, .message_t = 0.0, .seed = 7});
+  EXPECT_TRUE(graph::same_connectivity(g, dist.spanner.to_graph()));
+}
+
+TEST(Integration, StarGraphSkeletonKeepsAllSpokes) {
+  // K_{1,n-1}: every edge is a bridge; any connectivity-preserving spanner
+  // must keep all of them.
+  const Graph g = graph::complete_bipartite(1, 60);
+  const auto res = core::build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 1});
+  EXPECT_EQ(res.stats.spanner_size, 60u);
+  const auto dist =
+      core::build_skeleton_distributed(g, {.D = 4, .eps = 1.0, .seed = 1});
+  EXPECT_EQ(dist.spanner.size(), 60u);
+}
+
+TEST(Integration, TreeInputsKeepEveryEdge) {
+  util::Rng rng(5);
+  const Graph t = graph::random_tree(200, rng);
+  const auto skel = core::build_skeleton(t, {.D = 4, .eps = 1.0, .seed = 2});
+  EXPECT_EQ(skel.stats.spanner_size, t.num_edges());
+  const auto bs = baselines::baswana_sen(t, 3, 2);
+  EXPECT_EQ(bs.stats.spanner_size, t.num_edges());
+  const auto fib =
+      core::build_fibonacci(t, {.order = 2, .eps = 1.0, .ell = 5, .seed = 2});
+  EXPECT_EQ(fib.stats.spanner_size, t.num_edges());
+}
+
+TEST(Integration, CompleteGraphSkeletonIsSparse) {
+  const Graph g = graph::complete_graph(120);
+  const auto res = core::build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 3});
+  // 7140 edges in, linear-size out.
+  EXPECT_LT(res.stats.spanner_size, 12u * 120);
+  const auto rep = spanner::evaluate_exact(g, res.spanner);
+  EXPECT_TRUE(rep.connectivity_preserved);
+  EXPECT_LE(rep.max_mult,
+            static_cast<double>(res.stats.schedule.distortion_bound));
+}
+
+TEST(ClusterProtocol, CustomSingleCallSchedule) {
+  // One p = 0 call: every vertex dies keeping one edge per neighbor; on a
+  // cycle that is every edge.
+  const Graph g = graph::cycle_graph(24);
+  core::SkeletonSchedule schedule;
+  core::RoundPlan round;
+  round.probs = {0.0};
+  schedule.rounds.push_back(round);
+  schedule.total_expand_calls = 1;
+  spanner::Spanner s(g);
+  sim::Network net(g, 8);
+  core::ClusterProtocol protocol(g, schedule, 1, &s);
+  net.run(protocol, 1000);
+  EXPECT_EQ(s.size(), 24u);
+  EXPECT_EQ(protocol.stats().deaths, 24u);
+  EXPECT_EQ(protocol.stats().joins, 0u);
+}
+
+TEST(ClusterProtocol, AllSampledScheduleKeepsEveryoneAlive) {
+  const Graph g = graph::cycle_graph(16);
+  core::SkeletonSchedule schedule;
+  core::RoundPlan round;
+  round.probs = {1.0, 1.0};  // nobody ever unsampled in round 1...
+  schedule.rounds.push_back(round);
+  core::RoundPlan final_round;
+  final_round.probs = {0.0};  // ... then everyone dies
+  schedule.rounds.push_back(final_round);
+  schedule.total_expand_calls = 3;
+  spanner::Spanner s(g);
+  sim::Network net(g, 8);
+  core::ClusterProtocol protocol(g, schedule, 1, &s);
+  net.run(protocol, 1000);
+  EXPECT_EQ(protocol.stats().deaths, 16u);
+  // p=1 calls contribute nothing; the kill call keeps the cycle.
+  EXPECT_EQ(s.size(), 16u);
+}
+
+TEST(ClusterProtocol, MetricsAccounting) {
+  util::Rng rng(9);
+  const Graph g = graph::connected_gnm(300, 1200, rng);
+  const auto res =
+      core::build_skeleton_distributed(g, {.D = 4, .eps = 1.0, .seed = 4});
+  // Total rounds equals the sum of phase-round counters.
+  EXPECT_EQ(res.network.rounds,
+            res.protocol.broadcast_rounds + res.protocol.status_rounds +
+                res.protocol.gather_rounds + res.protocol.contraction_rounds);
+  // Every working vertex is eventually resolved as join or death, and there
+  // are at least n resolutions in total across the run (every original
+  // vertex's group dies at least once).
+  EXPECT_GE(res.protocol.joins + res.protocol.deaths, 300u / 4);
+  EXPECT_GT(res.network.total_words, 0u);
+}
+
+TEST(Integration, EvaluatorsAgreeOnSharedSources) {
+  util::Rng rng(15);
+  const Graph g = graph::connected_gnm(200, 700, rng);
+  const auto res = core::build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 5});
+  const auto exact = spanner::evaluate_exact(g, res.spanner);
+  const std::vector<VertexId> all_sources = [&] {
+    std::vector<VertexId> v(g.num_vertices());
+    for (VertexId i = 0; i < g.num_vertices(); ++i) v[i] = i;
+    return v;
+  }();
+  const auto from_all =
+      spanner::evaluate_from_sources(g, res.spanner, all_sources);
+  EXPECT_EQ(exact.pairs, from_all.pairs);
+  EXPECT_DOUBLE_EQ(exact.max_mult, from_all.max_mult);
+  EXPECT_EQ(exact.max_add, from_all.max_add);
+}
+
+TEST(Integration, AllAlgorithmsProduceValidSpannersOnOneGraph) {
+  // One workload through every constructor in the library.
+  util::Rng rng(21);
+  const Graph g = graph::connected_gnm(250, 1500, rng);
+  std::vector<std::pair<std::string, spanner::Spanner>> results;
+  results.emplace_back(
+      "skeleton", core::build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 1})
+                      .spanner);
+  results.emplace_back(
+      "fibonacci",
+      core::build_fibonacci(g, {.order = 2, .eps = 1.0, .ell = 5, .seed = 1})
+          .spanner);
+  results.emplace_back("baswana_sen",
+                       baselines::baswana_sen(g, 3, 1).spanner);
+  for (const auto& [name, s] : results) {
+    EXPECT_TRUE(graph::same_connectivity(g, s.to_graph())) << name;
+    EXPECT_LE(s.size(), g.num_edges()) << name;
+    for (const auto& e : s.edges()) {
+      EXPECT_TRUE(g.has_edge(e.u, e.v)) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ultra

@@ -1,0 +1,116 @@
+// Tests for the compact routing scheme (the Section 5 open-problem regime:
+// stretch 3 with ~sqrt(n) routing state).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/compact_routing.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ultra::apps {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(CompactRouting, DeliversEverywhereWithStretch3) {
+  util::Rng rng(3);
+  const Graph g = graph::connected_gnm(250, 1250, rng);
+  const CompactRouting scheme(g, 7);
+  for (VertexId u = 0; u < g.num_vertices(); u += 9) {
+    const auto dist = graph::bfs_distances(g, u);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (u == v) continue;
+      const auto route = scheme.route(u, v);
+      ASSERT_TRUE(route.delivered) << u << "->" << v;
+      EXPECT_EQ(route.path.front(), u);
+      EXPECT_EQ(route.path.back(), v);
+      EXPECT_LE(route.path.size() - 1, 3u * dist[v]) << u << "->" << v;
+      // Every hop is a real edge.
+      for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+        ASSERT_TRUE(g.has_edge(route.path[i], route.path[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(CompactRouting, DirectModeIsExact) {
+  // Adjacent pairs that share no landmark-shadow route exactly (hop count 1)
+  // whenever the destination is in the source's cluster; overall, adjacent
+  // routes never exceed 3 hops.
+  util::Rng rng(5);
+  const Graph g = graph::connected_gnm(180, 900, rng);
+  const CompactRouting scheme(g, 9);
+  std::uint64_t exact = 0, total = 0;
+  for (const auto& e : g.edges()) {
+    const auto route = scheme.route(e.u, e.v);
+    ASSERT_TRUE(route.delivered);
+    EXPECT_LE(route.path.size() - 1, 3u);
+    exact += (route.path.size() == 2);
+    ++total;
+  }
+  EXPECT_GT(2 * exact, total);  // most adjacent pairs route directly
+}
+
+TEST(CompactRouting, SelfRouteTrivial) {
+  const Graph g = graph::cycle_graph(10);
+  const CompactRouting scheme(g, 1);
+  const auto route = scheme.route(4, 4);
+  EXPECT_TRUE(route.delivered);
+  EXPECT_EQ(route.path.size(), 1u);
+}
+
+TEST(CompactRouting, DisconnectedReportsFailure) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const CompactRouting scheme(g, 11);
+  const auto route = scheme.route(0, 5);
+  EXPECT_FALSE(route.delivered);
+  const auto ok = scheme.route(0, 2);
+  EXPECT_TRUE(ok.delivered);
+}
+
+TEST(CompactRouting, TableSizesNearSqrtN) {
+  util::Rng rng(13);
+  const Graph g = graph::connected_gnm(2000, 16000, rng);
+  const CompactRouting scheme(g, 13);
+  // Average routing state ~ O(sqrt(n) log n)-ish words, far below n.
+  EXPECT_LT(scheme.average_table_words(),
+            20.0 * std::sqrt(2000.0) * std::log2(2000.0));
+  EXPECT_GT(scheme.num_landmarks(), 0u);
+}
+
+TEST(CompactRouting, LandmarkDestinationsRoutable) {
+  util::Rng rng(17);
+  const Graph g = graph::connected_gnm(150, 600, rng);
+  const CompactRouting scheme(g, 19);
+  // Route to each landmark (pivot of itself).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto addr = scheme.address_of(v);
+    if (addr.landmark != v) continue;  // not a landmark
+    const auto dist = graph::bfs_distances(g, v);
+    for (VertexId u = 0; u < g.num_vertices(); u += 13) {
+      if (u == v) continue;
+      const auto route = scheme.route(u, v);
+      ASSERT_TRUE(route.delivered);
+      // Routing to a landmark is exact (climb its own BFS tree).
+      EXPECT_LE(route.path.size() - 1, dist[u] + 0u);
+    }
+  }
+}
+
+TEST(CompactRouting, AddressesAreCompact) {
+  util::Rng rng(19);
+  const Graph g = graph::connected_gnm(100, 400, rng);
+  const CompactRouting scheme(g, 23);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = scheme.address_of(v);
+    EXPECT_EQ(a.node, v);
+    EXPECT_NE(a.landmark, graph::kInvalidVertex);
+    EXPECT_LT(a.dfs_number, g.num_vertices());
+  }
+}
+
+}  // namespace
+}  // namespace ultra::apps

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/schedule.h"
+#include "util/saturating.h"
+
+namespace ultra::core {
+namespace {
+
+TEST(TowerSequence, Values) {
+  EXPECT_EQ(tower_s(4, 0), 4u);
+  EXPECT_EQ(tower_s(4, 1), 4u);
+  EXPECT_EQ(tower_s(4, 2), 256u);       // 4^4
+  EXPECT_EQ(tower_s(4, 3), util::kSaturated);  // 256^256
+  EXPECT_EQ(tower_s(5, 2), 3125u);
+  EXPECT_EQ(tower_s(8, 2), 16777216u);  // 8^8
+}
+
+TEST(TowerSequence, Lemma1Part2LogIdentity) {
+  // log_b s_i = s_1 ... s_{i-1} log_b D, checkable while values fit.
+  for (std::uint64_t D : {4ull, 5ull, 6ull}) {
+    const double lhs = std::log2(static_cast<double>(tower_s(D, 2)));
+    const double rhs = static_cast<double>(D) * std::log2(
+        static_cast<double>(D));
+    EXPECT_NEAR(lhs, rhs, 1e-9) << "D=" << D;
+  }
+}
+
+TEST(TowerSequence, Lemma1Part3GrowthBound) {
+  // s_i >= 2^{i+1} s_1 ... s_{i-1} for D >= 4.
+  for (std::uint64_t D : {4ull, 5ull, 8ull}) {
+    // i = 1: s_1 = D >= 4 = 2^2.
+    EXPECT_GE(tower_s(D, 1), 4u);
+    // i = 2: s_2 = D^D >= 8 D.
+    EXPECT_GE(tower_s(D, 2), 8 * D);
+  }
+}
+
+TEST(PlanSchedule, RejectsBadParams) {
+  EXPECT_THROW(plan_schedule(1000, {.D = 3, .eps = 1.0, .seed = 1}),
+               std::invalid_argument);
+  // D may not exceed log^eps n: log2(1e3) ~ 10, so D = 16 is too big.
+  EXPECT_THROW(plan_schedule(1000, {.D = 16, .eps = 1.0, .seed = 1}),
+               std::invalid_argument);
+  // ... but is fine when eps = 2 (cap ~ 99).
+  EXPECT_NO_THROW(plan_schedule(1000, {.D = 16, .eps = 2.0, .seed = 1}));
+}
+
+TEST(PlanSchedule, EndsWithKillCall) {
+  for (const std::uint64_t n : {16ull, 1000ull, 1000000ull}) {
+    const SkeletonSchedule plan = plan_schedule(n, {.D = 4, .eps = 1.0});
+    ASSERT_FALSE(plan.rounds.empty());
+    const auto& last = plan.rounds.back().probs;
+    ASSERT_FALSE(last.empty());
+    EXPECT_EQ(last.back(), 0.0);
+    // Only the final call has p = 0.
+    std::size_t zeros = 0;
+    for (const auto& round : plan.rounds) {
+      for (const double p : round.probs) zeros += (p == 0.0);
+    }
+    EXPECT_EQ(zeros, 1u);
+  }
+}
+
+TEST(PlanSchedule, FirstRoundSingleCallAtOneOverD) {
+  const SkeletonSchedule plan = plan_schedule(100000, {.D = 8, .eps = 1.0});
+  ASSERT_GE(plan.rounds.size(), 2u);
+  ASSERT_EQ(plan.rounds[0].probs.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.rounds[0].probs[0], 1.0 / 8.0);
+  // Second round uses s_1 = D.
+  EXPECT_EQ(plan.rounds[1].s, 8u);
+  for (std::size_t j = 0; j < plan.rounds[1].probs.size(); ++j) {
+    EXPECT_DOUBLE_EQ(plan.rounds[1].probs[j], 1.0 / 8.0);
+  }
+  // Round 2 is truncated at the density threshold: at most s_1 + 1 calls.
+  EXPECT_LE(plan.rounds[1].probs.size(), 9u);
+}
+
+TEST(PlanSchedule, FinalDensityCoversN) {
+  for (const std::uint64_t n : {64ull, 4096ull, 1048576ull}) {
+    const SkeletonSchedule plan = plan_schedule(n, {.D = 4, .eps = 1.0});
+    EXPECT_GE(plan.expected_final_density, static_cast<double>(n));
+  }
+}
+
+TEST(PlanSchedule, TailProbabilityIsLogPowEps) {
+  const std::uint64_t n = 1 << 20;
+  const SkeletonSchedule plan = plan_schedule(n, {.D = 4, .eps = 1.0});
+  const double cap = std::pow(std::log2(static_cast<double>(n)), 1.0);
+  // Find a tail call (s == 0 marks tail rounds).
+  bool found = false;
+  for (const auto& round : plan.rounds) {
+    if (round.s == 0) {
+      for (const double p : round.probs) {
+        if (p > 0.0) {
+          EXPECT_NEAR(p, 1.0 / cap, 1e-12);
+          found = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanSchedule, DistortionBoundGrowsSlowlyWithN) {
+  // The Theorem 2 distortion is O(eps^-1 2^{log* n} log_D n): doubling n
+  // should grow the bound by roughly a constant factor, not polynomially.
+  const auto b1 =
+      plan_schedule(1 << 12, {.D = 4, .eps = 1.0}).distortion_bound;
+  const auto b2 =
+      plan_schedule(1 << 24, {.D = 4, .eps = 1.0}).distortion_bound;
+  EXPECT_GE(b2, b1);
+  EXPECT_LE(b2, 32 * b1);  // far below the x4096 of any polynomial bound
+}
+
+TEST(PlanSchedule, DegenerateTinyN) {
+  const SkeletonSchedule plan = plan_schedule(2, {.D = 4, .eps = 1.0});
+  ASSERT_EQ(plan.rounds.size(), 1u);
+  EXPECT_EQ(plan.rounds[0].probs, std::vector<double>{0.0});
+}
+
+TEST(PlanSchedule, EpsControlsTailLength) {
+  // Larger eps -> bigger cap -> fewer tail calls (denser amplification).
+  const auto a = plan_schedule(1 << 20, {.D = 4, .eps = 0.75});
+  const auto b = plan_schedule(1 << 20, {.D = 4, .eps = 2.0});
+  EXPECT_GE(a.total_expand_calls, b.total_expand_calls);
+}
+
+}  // namespace
+}  // namespace ultra::core

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "sim/flood.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace ultra::sim {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+// Minimal protocol: round 0 everyone sends its id to all neighbors; then
+// stop. Used to probe delivery semantics.
+class PingProtocol : public Protocol {
+ public:
+  void begin(Network& net) override {
+    received_.assign(net.num_nodes(), {});
+  }
+  void on_round(Mailbox& mb) override {
+    if (mb.round() == 0) {
+      mb.send_all({Word{mb.self()}});
+    }
+    for (const Message& m : mb.inbox()) {
+      received_[mb.self()].push_back(m.from);
+    }
+  }
+  [[nodiscard]] bool done(const Network& net) const override {
+    return net.round() >= 2;
+  }
+  std::vector<std::vector<VertexId>> received_;
+};
+
+TEST(Network, DeliversToAllNeighborsNextRound) {
+  const Graph g = graph::cycle_graph(5);
+  Network net(g, 4);
+  PingProtocol p;
+  const Metrics m = net.run(p, 10);
+  EXPECT_EQ(m.rounds, 2u);
+  EXPECT_EQ(m.messages, 10u);  // 5 nodes x 2 neighbors
+  EXPECT_EQ(m.max_message_words, 1u);
+  for (VertexId v = 0; v < 5; ++v) {
+    ASSERT_EQ(p.received_[v].size(), 2u) << "v=" << v;
+    // Inbox sorted by sender id.
+    EXPECT_LT(p.received_[v][0], p.received_[v][1]);
+  }
+}
+
+class OversizeProtocol : public Protocol {
+ public:
+  void begin(Network&) override {}
+  void on_round(Mailbox& mb) override {
+    if (mb.round() == 0 && mb.self() == 0) {
+      mb.send(mb.neighbors().front(), std::vector<Word>(10, 7));
+    }
+  }
+  [[nodiscard]] bool done(const Network& net) const override {
+    return net.round() >= 1;
+  }
+};
+
+TEST(Network, EnforcesMessageCap) {
+  const Graph g = graph::path_graph(3);
+  Network net(g, 4);
+  OversizeProtocol p;
+  EXPECT_THROW(net.run(p, 10), MessageTooLong);
+}
+
+TEST(Network, UnboundedCapAllowsLongMessages) {
+  const Graph g = graph::path_graph(3);
+  Network net(g, kUnboundedMessages);
+  OversizeProtocol p;
+  EXPECT_NO_THROW(net.run(p, 10));
+  EXPECT_EQ(net.metrics().max_message_words, 10u);
+}
+
+class NonNeighborSend : public Protocol {
+ public:
+  void begin(Network&) override {}
+  void on_round(Mailbox& mb) override {
+    if (mb.self() == 0) mb.send(2, Word{1});
+  }
+  [[nodiscard]] bool done(const Network& net) const override {
+    return net.round() >= 1;
+  }
+};
+
+TEST(Network, RejectsNonNeighborSend) {
+  const Graph g = graph::path_graph(3);  // 0-1-2; (0,2) not a link
+  Network net(g, 4);
+  NonNeighborSend p;
+  EXPECT_THROW(net.run(p, 10), std::invalid_argument);
+}
+
+class DoubleSend : public Protocol {
+ public:
+  void begin(Network&) override {}
+  void on_round(Mailbox& mb) override {
+    if (mb.self() == 0) {
+      mb.send(1, Word{1});
+      mb.send(1, Word{2});
+    }
+  }
+  [[nodiscard]] bool done(const Network& net) const override {
+    return net.round() >= 1;
+  }
+};
+
+TEST(Network, RejectsTwoMessagesSameNeighborSameRound) {
+  const Graph g = graph::path_graph(2);
+  Network net(g, 4);
+  DoubleSend p;
+  EXPECT_THROW(net.run(p, 10), std::invalid_argument);
+}
+
+class NeverDone : public Protocol {
+ public:
+  void begin(Network&) override {}
+  void on_round(Mailbox& mb) override { mb.stay_awake(); }
+  [[nodiscard]] bool done(const Network&) const override { return false; }
+};
+
+TEST(Network, ThrowsWhenRoundBudgetExceeded) {
+  const Graph g = graph::path_graph(2);
+  Network net(g, 1);
+  NeverDone p;
+  EXPECT_THROW(net.run(p, 5), std::runtime_error);
+}
+
+TEST(BfsFlood, MatchesSequentialBfs) {
+  util::Rng rng(31);
+  const Graph g = graph::connected_gnm(120, 300, rng);
+  Network net(g, 1);  // CONGEST: unit messages suffice
+  BfsFlood flood(7);
+  net.run(flood, 1000);
+  const auto want = graph::bfs_distances(g, 7);
+  EXPECT_EQ(flood.dist(), want);
+  // Parents consistent.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == 7) continue;
+    ASSERT_NE(flood.parent()[v], graph::kInvalidVertex);
+    EXPECT_EQ(flood.dist()[v], flood.dist()[flood.parent()[v]] + 1);
+  }
+  // Rounds ~ eccentricity + settle detection.
+  EXPECT_LE(net.metrics().rounds, graph::eccentricity(g, 7) + 3);
+}
+
+TEST(TruncatedMinIdFlood, MatchesMultiSourceBfs) {
+  util::Rng rng(33);
+  const Graph g = graph::connected_gnm(150, 400, rng);
+  std::vector<std::uint8_t> is_source(g.num_vertices(), 0);
+  std::vector<VertexId> sources;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (rng.bernoulli(0.05)) {
+      is_source[v] = 1;
+      sources.push_back(v);
+    }
+  }
+  ASSERT_FALSE(sources.empty());
+  const std::uint32_t radius = 3;
+  Network net(g, 1);
+  TruncatedMinIdFlood flood(is_source, radius);
+  net.run(flood, radius + 2);
+  const auto want = graph::multi_source_bfs(g, sources, radius);
+  EXPECT_EQ(flood.dist(), want.dist);
+  EXPECT_EQ(flood.nearest(), want.nearest);
+  // Parent chains reach the nearest source in dist steps.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (flood.dist()[v] == graph::kUnreachable || flood.dist()[v] == 0) {
+      continue;
+    }
+    VertexId x = v;
+    std::uint32_t steps = 0;
+    while (flood.parent()[x] != graph::kInvalidVertex) {
+      x = flood.parent()[x];
+      ++steps;
+      ASSERT_LE(steps, radius);
+    }
+    EXPECT_EQ(x, flood.nearest()[v]);
+    EXPECT_EQ(steps, flood.dist()[v]);
+  }
+  // Round count: exactly radius + 1 activations.
+  EXPECT_EQ(net.metrics().rounds, radius + 1);
+  EXPECT_EQ(net.metrics().max_message_words, 1u);
+}
+
+TEST(TruncatedMinIdFlood, ZeroRadiusOnlySettlesSources) {
+  const Graph g = graph::path_graph(5);
+  std::vector<std::uint8_t> is_source{0, 0, 1, 0, 0};
+  Network net(g, 1);
+  TruncatedMinIdFlood flood(is_source, 0);
+  net.run(flood, 3);
+  EXPECT_EQ(flood.dist()[2], 0u);
+  EXPECT_EQ(flood.dist()[1], graph::kUnreachable);
+  EXPECT_EQ(net.metrics().messages, 0u);
+}
+
+}  // namespace
+}  // namespace ultra::sim

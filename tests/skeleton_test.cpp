@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/skeleton.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "spanner/evaluate.h"
+#include "util/rng.h"
+
+namespace ultra::core {
+namespace {
+
+using graph::Graph;
+
+TEST(Skeleton, EmptyAndTinyGraphs) {
+  const Graph empty;
+  const auto r0 = build_skeleton(empty, {.D = 4, .eps = 1.0});
+  EXPECT_EQ(r0.stats.spanner_size, 0u);
+
+  const Graph pair = graph::path_graph(2);
+  const auto r1 = build_skeleton(pair, {.D = 4, .eps = 1.0});
+  EXPECT_EQ(r1.stats.spanner_size, 1u);  // the single edge must survive
+
+  const Graph tri = graph::complete_graph(3);
+  const auto r2 = build_skeleton(tri, {.D = 4, .eps = 1.0});
+  EXPECT_EQ(r2.stats.spanner_size, 3u);
+}
+
+TEST(Skeleton, DeterministicForSeed) {
+  util::Rng rng(1);
+  const Graph g = graph::connected_gnm(300, 900, rng);
+  const auto a = build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 5});
+  const auto b = build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 5});
+  ASSERT_EQ(a.stats.spanner_size, b.stats.spanner_size);
+  EXPECT_TRUE(std::equal(a.spanner.edges().begin(), a.spanner.edges().end(),
+                         b.spanner.edges().begin()));
+}
+
+struct SkeletonCase {
+  const char* family;
+  std::uint32_t n;
+  std::uint64_t m;
+  std::uint64_t D;
+  std::uint64_t seed;
+};
+
+class SkeletonProperty : public ::testing::TestWithParam<SkeletonCase> {};
+
+Graph make_graph(const SkeletonCase& c, util::Rng& rng) {
+  const std::string fam = c.family;
+  if (fam == "gnm") return graph::connected_gnm(c.n, c.m, rng);
+  if (fam == "torus") {
+    const auto side = static_cast<graph::VertexId>(std::sqrt(c.n));
+    return graph::torus_graph(side, side);
+  }
+  if (fam == "cliques") return graph::ring_of_cliques(c.n / 8, 8);
+  if (fam == "hypercube") return graph::hypercube(9);
+  if (fam == "pa") return graph::preferential_attachment(c.n, 3, rng);
+  ADD_FAILURE() << "unknown family " << fam;
+  return Graph();
+}
+
+TEST_P(SkeletonProperty, SpannerInvariantsHold) {
+  const SkeletonCase c = GetParam();
+  util::Rng rng(c.seed);
+  const Graph g = make_graph(c, rng);
+  const auto result =
+      build_skeleton(g, {.D = c.D, .eps = 1.0, .seed = c.seed * 7 + 1});
+
+  // (1) Subgraph by construction (Spanner::add_edge validates); size sane.
+  EXPECT_LE(result.stats.spanner_size, g.num_edges());
+
+  // (2) Connectivity preserved exactly.
+  EXPECT_TRUE(graph::same_connectivity(g, result.spanner.to_graph()));
+
+  // (3) Distortion within the schedule's own Lemma-4 bound.
+  const auto report = spanner::evaluate_sampled(g, result.spanner, 25, rng);
+  EXPECT_TRUE(report.connectivity_preserved);
+  EXPECT_LE(report.max_mult,
+            static_cast<double>(result.stats.schedule.distortion_bound));
+
+  // (4) Size within Lemma 6's expectation, with generous slack for variance
+  // (the bound is an expectation; 2x covers every seed we pin here).
+  EXPECT_LE(static_cast<double>(result.stats.spanner_size),
+            2.0 * result.stats.predicted_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SkeletonProperty,
+    ::testing::Values(
+        SkeletonCase{"gnm", 500, 2000, 4, 1},
+        SkeletonCase{"gnm", 500, 2000, 4, 2},
+        SkeletonCase{"gnm", 500, 2000, 4, 3},
+        SkeletonCase{"gnm", 1000, 8000, 4, 4},
+        SkeletonCase{"gnm", 1000, 8000, 8, 5},
+        SkeletonCase{"gnm", 2000, 4000, 4, 6},
+        SkeletonCase{"torus", 900, 0, 4, 7},
+        SkeletonCase{"torus", 2500, 0, 4, 8},
+        SkeletonCase{"cliques", 800, 0, 4, 9},
+        SkeletonCase{"hypercube", 512, 0, 4, 10},
+        SkeletonCase{"pa", 1500, 0, 4, 11},
+        SkeletonCase{"gnm", 3000, 30000, 8, 12}),
+    [](const ::testing::TestParamInfo<SkeletonCase>& info) {
+      return std::string(info.param.family) + "_n" +
+             std::to_string(info.param.n) + "_D" +
+             std::to_string(info.param.D) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Skeleton, ExactDistortionOnSmallGraphWithinBound) {
+  util::Rng rng(21);
+  const Graph g = graph::connected_gnm(120, 480, rng);
+  const auto result = build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 3});
+  const auto report = spanner::evaluate_exact(g, result.spanner);
+  EXPECT_TRUE(report.connectivity_preserved);
+  EXPECT_LE(report.max_mult,
+            static_cast<double>(result.stats.schedule.distortion_bound));
+}
+
+TEST(Skeleton, SizeScalesLinearlyInN) {
+  // Doubling n at fixed density roughly doubles the spanner size: the whole
+  // point of a linear-size skeleton. Allow wide tolerance.
+  util::Rng rng(31);
+  const Graph g1 = graph::connected_gnm(1000, 6000, rng);
+  const Graph g2 = graph::connected_gnm(4000, 24000, rng);
+  const auto r1 = build_skeleton(g1, {.D = 4, .eps = 1.0, .seed = 1});
+  const auto r2 = build_skeleton(g2, {.D = 4, .eps = 1.0, .seed = 1});
+  const double per1 = r1.spanner.edges_per_vertex();
+  const double per2 = r2.spanner.edges_per_vertex();
+  EXPECT_NEAR(per2, per1, 0.8);  // edges/vertex roughly constant
+}
+
+TEST(Skeleton, DisconnectedGraphSpansEveryComponent) {
+  util::Rng rng(41);
+  graph::GraphBuilder b;
+  const Graph a = graph::connected_gnm(100, 300, rng);
+  for (const auto& e : a.edges()) b.add_edge(e.u, e.v);
+  const Graph c = graph::connected_gnm(80, 200, rng);
+  for (const auto& e : c.edges()) b.add_edge(e.u + 100, e.v + 100);
+  b.ensure_vertex(200);  // plus an isolated vertex
+  const Graph g = std::move(b).build();
+  const auto result = build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 2});
+  EXPECT_TRUE(graph::same_connectivity(g, result.spanner.to_graph()));
+}
+
+TEST(Skeleton, TraceAccountingConsistent) {
+  util::Rng rng(51);
+  const Graph g = graph::connected_gnm(800, 4000, rng);
+  const auto result = build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 6});
+  ASSERT_FALSE(result.stats.rounds.empty());
+  EXPECT_EQ(result.stats.rounds.front().working_vertices, 800u);
+  // Working graphs shrink monotonically across rounds.
+  for (std::size_t i = 1; i < result.stats.rounds.size(); ++i) {
+    EXPECT_LE(result.stats.rounds[i].working_vertices,
+              result.stats.rounds[i - 1].working_vertices);
+    EXPECT_EQ(result.stats.rounds[i].working_vertices,
+              result.stats.rounds[i - 1].clusters_after);
+  }
+  // Every vertex eventually dies: final round leaves zero clusters.
+  EXPECT_EQ(result.stats.rounds.back().clusters_after, 0u);
+}
+
+TEST(Skeleton, PredictedSizeFormulaMonotoneInD) {
+  EXPECT_LT(predicted_skeleton_size(1000, 4), predicted_skeleton_size(1000, 8));
+  EXPECT_LT(predicted_skeleton_size(1000, 8), predicted_skeleton_size(1000, 16));
+  // Linear in n.
+  EXPECT_NEAR(predicted_skeleton_size(2000, 4),
+              2.0 * predicted_skeleton_size(1000, 4), 1e-6);
+}
+
+}  // namespace
+}  // namespace ultra::core

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "spanner/evaluate.h"
+#include "spanner/spanner.h"
+#include "util/rng.h"
+
+namespace ultra::spanner {
+namespace {
+
+TEST(Spanner, AddAndContains) {
+  const Graph g = graph::cycle_graph(6);
+  Spanner s(g);
+  s.add_edge(0, 1);
+  s.add_edge(1, 0);  // idempotent
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(0, 1));
+  EXPECT_TRUE(s.contains(1, 0));
+  EXPECT_FALSE(s.contains(1, 2));
+}
+
+TEST(Spanner, RejectsNonHostEdge) {
+  const Graph g = graph::path_graph(4);
+  Spanner s(g);
+  EXPECT_THROW(s.add_edge(0, 2), std::invalid_argument);
+}
+
+TEST(Spanner, AddPathAndIncident) {
+  const Graph g = graph::cycle_graph(8);
+  Spanner s(g);
+  const std::vector<graph::VertexId> path{0, 1, 2, 3};
+  s.add_path(path);
+  EXPECT_EQ(s.size(), 3u);
+  s.add_all_incident(5);
+  EXPECT_TRUE(s.contains(4, 5));
+  EXPECT_TRUE(s.contains(5, 6));
+}
+
+TEST(Spanner, ToGraphPreservesEdges) {
+  const Graph g = graph::complete_graph(5);
+  Spanner s(g);
+  s.add_edge(0, 1);
+  s.add_edge(2, 3);
+  const Graph sg = s.to_graph();
+  EXPECT_EQ(sg.num_vertices(), 5u);
+  EXPECT_EQ(sg.num_edges(), 2u);
+  EXPECT_TRUE(sg.has_edge(0, 1));
+}
+
+TEST(Evaluate, IdentitySpannerHasNoDistortion) {
+  util::Rng rng(3);
+  const Graph g = graph::connected_gnm(40, 80, rng);
+  Spanner s(g);
+  for (const graph::Edge& e : g.edges()) s.add_edge(e);
+  const DistortionReport r = evaluate_exact(g, s);
+  EXPECT_DOUBLE_EQ(r.max_mult, 1.0);
+  EXPECT_EQ(r.max_add, 0u);
+  EXPECT_TRUE(r.connectivity_preserved);
+  EXPECT_EQ(r.pairs, 40u * 39u);  // ordered pairs
+}
+
+TEST(Evaluate, CycleMinusEdge) {
+  // C_n minus one edge: the removed edge's endpoints go from distance 1 to
+  // n-1; multiplicative stretch n-1, additive n-2.
+  const Graph g = graph::cycle_graph(10);
+  Spanner s(g);
+  for (const graph::Edge& e : g.edges()) {
+    if (!(e == graph::make_edge(0, 9))) s.add_edge(e);
+  }
+  const DistortionReport r = evaluate_exact(g, s);
+  EXPECT_DOUBLE_EQ(r.max_mult, 9.0);
+  EXPECT_EQ(r.max_add, 8u);
+  EXPECT_TRUE(r.connectivity_preserved);
+  // beta for alpha=1 equals the max additive surplus.
+  EXPECT_DOUBLE_EQ(r.beta_for_alpha(1.0), 8.0);
+  // For alpha = 9 no additive term is needed.
+  EXPECT_DOUBLE_EQ(r.beta_for_alpha(9.0), 0.0);
+}
+
+TEST(Evaluate, DisconnectionDetected) {
+  const Graph g = graph::path_graph(4);
+  Spanner s(g);
+  s.add_edge(0, 1);  // drops (1,2), (2,3)
+  const DistortionReport r = evaluate_exact(g, s);
+  EXPECT_FALSE(r.connectivity_preserved);
+}
+
+TEST(Evaluate, ByDistanceBucketsConsistent) {
+  const Graph g = graph::cycle_graph(12);
+  Spanner s(g);
+  for (const graph::Edge& e : g.edges()) {
+    if (!(e == graph::make_edge(0, 11))) s.add_edge(e);
+  }
+  const DistortionReport r = evaluate_exact(g, s);
+  std::uint64_t total = 0;
+  for (std::size_t d = 1; d < r.by_distance.size(); ++d) {
+    total += r.by_distance[d].pairs;
+    if (r.by_distance[d].pairs > 0) {
+      EXPECT_GE(r.by_distance[d].max_mult, 1.0);
+      EXPECT_LE(r.by_distance[d].mean_mult(),
+                r.by_distance[d].max_mult + 1e-12);
+    }
+  }
+  EXPECT_EQ(total, r.pairs);
+}
+
+TEST(Evaluate, SampledSubsetOfExact) {
+  util::Rng rng(5);
+  const Graph g = graph::connected_gnm(60, 120, rng);
+  Spanner s(g);
+  // Keep a BFS tree only: guaranteed connected, distorted.
+  const auto tree = graph::bfs(g, 0);
+  for (graph::VertexId v = 1; v < g.num_vertices(); ++v) {
+    s.add_edge(v, tree.parent[v]);
+  }
+  const DistortionReport exact = evaluate_exact(g, s);
+  const DistortionReport sampled = evaluate_sampled(g, s, 20, rng);
+  EXPECT_LE(sampled.max_mult, exact.max_mult + 1e-12);
+  EXPECT_LE(sampled.max_add, exact.max_add);
+  EXPECT_GT(sampled.pairs, 0u);
+}
+
+TEST(Evaluate, FromSourcesUsesExactlyThoseSources) {
+  const Graph g = graph::path_graph(6);
+  Spanner s(g);
+  for (const graph::Edge& e : g.edges()) s.add_edge(e);
+  const std::vector<graph::VertexId> sources{0};
+  const DistortionReport r = evaluate_from_sources(g, s, sources);
+  EXPECT_EQ(r.pairs, 5u);
+}
+
+TEST(Evaluate, PairStretch) {
+  const Graph g = graph::cycle_graph(8);
+  Spanner s(g);
+  for (const graph::Edge& e : g.edges()) {
+    if (!(e == graph::make_edge(0, 7))) s.add_edge(e);
+  }
+  const auto ps = pair_stretch(g, s.to_graph(), 0, 7);
+  EXPECT_EQ(ps.dist_g, 1u);
+  EXPECT_EQ(ps.dist_s, 7u);
+}
+
+}  // namespace
+}  // namespace ultra::spanner

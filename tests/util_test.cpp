@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/fibonacci.h"
+#include "util/rng.h"
+#include "util/saturating.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace ultra::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliMeanApproximatesP) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(23);
+  const auto s = rng.sample_indices(100, 30);
+  std::set<std::uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (const auto x : s) EXPECT_LT(x, 100u);
+}
+
+TEST(Rng, SampleIndicesAllWhenKTooLarge) {
+  Rng rng(29);
+  const auto s = rng.sample_indices(5, 50);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Saturating, AddSaturates) {
+  EXPECT_EQ(sat_add(2, 3), 5u);
+  EXPECT_EQ(sat_add(kSaturated, 1), kSaturated);
+  EXPECT_EQ(sat_add(kSaturated - 1, 5), kSaturated);
+}
+
+TEST(Saturating, MulSaturates) {
+  EXPECT_EQ(sat_mul(6, 7), 42u);
+  EXPECT_EQ(sat_mul(0, kSaturated), 0u);
+  EXPECT_EQ(sat_mul(std::uint64_t{1} << 33, std::uint64_t{1} << 33),
+            kSaturated);
+}
+
+TEST(Saturating, PowBasics) {
+  EXPECT_EQ(sat_pow(2, 10), 1024u);
+  EXPECT_EQ(sat_pow(0, 0), 1u);
+  EXPECT_EQ(sat_pow(0, 5), 0u);
+  EXPECT_EQ(sat_pow(1, 1000), 1u);
+  EXPECT_EQ(sat_pow(10, 19), 10000000000000000000ull);
+  EXPECT_EQ(sat_pow(10, 20), kSaturated);
+  EXPECT_EQ(sat_pow(4, 4), 256u);
+  EXPECT_EQ(sat_pow(256, 256), kSaturated);
+}
+
+TEST(Saturating, Logs) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Saturating, LogStar) {
+  EXPECT_EQ(log_star(1), 0u);
+  EXPECT_EQ(log_star(2), 1u);
+  EXPECT_EQ(log_star(4), 2u);
+  EXPECT_EQ(log_star(16), 3u);
+  EXPECT_EQ(log_star(65536), 4u);
+  EXPECT_EQ(log_star(std::uint64_t{1} << 63), 5u);
+}
+
+TEST(Fibonacci, Values) {
+  EXPECT_EQ(fibonacci(0), 0u);
+  EXPECT_EQ(fibonacci(1), 1u);
+  EXPECT_EQ(fibonacci(2), 1u);
+  EXPECT_EQ(fibonacci(10), 55u);
+  EXPECT_EQ(fibonacci(92), 7540113804746346429ull);
+  EXPECT_THROW(static_cast<void>(fibonacci(93)), std::out_of_range);
+}
+
+TEST(Fibonacci, GoldenRatioIdentity) {
+  // phi * F_k + 1 > F_{k+1}, the only Fibonacci property Section 4 uses.
+  for (unsigned k = 1; k <= 40; ++k) {
+    EXPECT_GT(kGoldenRatio * static_cast<double>(fibonacci(k)) + 1.0,
+              static_cast<double>(fibonacci(k + 1)))
+        << "k=" << k;
+  }
+}
+
+TEST(Fibonacci, FloorLogPhi) {
+  EXPECT_EQ(floor_log_phi(1.0), 0u);
+  EXPECT_EQ(floor_log_phi(kGoldenRatio), 1u);
+  EXPECT_EQ(floor_log_phi(10.0), 4u);  // phi^4 ~ 6.85, phi^5 ~ 11.09
+}
+
+TEST(Stats, RunningBasics) {
+  RunningStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+}
+
+TEST(Stats, MeanOf) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(42);
+  t.row().cell("b").cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ultra::util

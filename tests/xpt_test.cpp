@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/xpt.h"
+#include "util/rng.h"
+
+namespace ultra::core {
+namespace {
+
+TEST(Xpt, BaseCases) {
+  EXPECT_DOUBLE_EQ(xpt_exact(0.25, 0).value, 0.0);
+  // X^1_p = (1-p) + (q-1)(1-p)^{q+1} maximized over q; for p=1/2 the max is
+  // at small q -- verify against a direct scan.
+  const double p = 0.5;
+  double direct = 0.0;
+  for (std::uint64_t q = 0; q <= 100; ++q) {
+    direct = std::max(direct, (1 - p) + (static_cast<double>(q) - 1) *
+                                            std::pow(1 - p, q + 1.0));
+  }
+  EXPECT_NEAR(xpt_exact(p, 1).value, direct, 1e-12);
+}
+
+TEST(Xpt, Equation3BoundOnX1) {
+  // X^1_p < (1 - 2/e) + 1/(e p)  (Eq. 3).
+  for (const double p : {0.5, 0.25, 0.125, 1.0 / 64}) {
+    EXPECT_LT(xpt_exact(p, 1).value,
+              (1.0 - 2.0 / std::exp(1.0)) + 1.0 / (std::exp(1.0) * p))
+        << "p=" << p;
+  }
+}
+
+TEST(Xpt, MonotoneInT) {
+  for (const double p : {0.25, 0.1}) {
+    double prev = 0.0;
+    for (unsigned t = 1; t <= 20; ++t) {
+      const double cur = xpt_exact(p, t).value;
+      EXPECT_GT(cur, prev);
+      prev = cur;
+    }
+  }
+}
+
+TEST(Xpt, ClosedFormDominatesExactDP) {
+  // Equation (4): X_p^t <= p^{-1}(ln(t+1) - zeta) + t.
+  for (const double p : {0.5, 0.25, 0.125, 1.0 / 32, 1.0 / 64}) {
+    for (unsigned t = 1; t <= 64; t += 3) {
+      EXPECT_LE(xpt_exact(p, t).value, xpt_closed_form(p, t) + 1e-9)
+          << "p=" << p << " t=" << t;
+    }
+  }
+}
+
+TEST(Xpt, ClosedFormIsReasonablyTight) {
+  // The DP should land within a constant gap of the closed form (the paper's
+  // analysis loses only lower-order terms).
+  const double p = 1.0 / 16;
+  const unsigned t = 17;  // s_1 + 1 for D = 16
+  const double exact = xpt_exact(p, t).value;
+  const double bound = xpt_closed_form(p, t);
+  EXPECT_GT(exact, 0.3 * bound);
+}
+
+TEST(Xpt, ZetaConstant) {
+  EXPECT_NEAR(kXptZeta, std::log(2.0) - 1.0 / std::exp(1.0), 1e-15);
+  EXPECT_NEAR(kXptZeta, 0.325, 0.001);  // the paper's quoted value
+}
+
+TEST(Xpt, MonteCarloMatchesDP) {
+  util::Rng rng(77);
+  const double p = 0.25;
+  const unsigned t = 5;
+  const double mc = xpt_monte_carlo(p, t, 200000, rng);
+  const double dp = xpt_exact(p, t).value;
+  // The MC plays the DP-optimal adversary, so its mean equals the DP value.
+  EXPECT_NEAR(mc, dp, 0.05 * dp + 0.05);
+}
+
+TEST(Xpt, ArgmaxGrowsWithT) {
+  const double p = 0.125;
+  const auto s3 = xpt_exact(p, 3);
+  const auto s20 = xpt_exact(p, 20);
+  EXPECT_GT(s20.argmax_q, s3.argmax_q);
+  // Analytic location: q* = -1/ln(1-p) + X^{t-1} + O(1), so it exceeds 1/p
+  // and stays below the closed-form-based estimate
+  // t + p^{-1}(ln t - zeta + 1) (which substitutes the upper bound for X).
+  EXPECT_GE(static_cast<double>(s20.argmax_q), 1.0 / p);
+  const double upper = 20.0 + (std::log(20.0) - kXptZeta + 1.0) / p;
+  EXPECT_LE(static_cast<double>(s20.argmax_q), upper);
+}
+
+}  // namespace
+}  // namespace ultra::core
