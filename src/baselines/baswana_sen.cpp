@@ -1,8 +1,8 @@
 #include "baselines/baswana_sen.h"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "check/check.h"
 #include "core/expand.h"
 #include "util/rng.h"
 
@@ -10,7 +10,7 @@ namespace ultra::baselines {
 
 BaswanaSenResult baswana_sen(const graph::Graph& g, unsigned k,
                              std::uint64_t seed) {
-  if (k == 0) throw std::invalid_argument("baswana_sen: k must be >= 1");
+  ULTRA_CHECK_ARG(k >= 1) << "baswana_sen: k must be >= 1";
   BaswanaSenResult result{spanner::Spanner(g), BaswanaSenStats{}};
   util::Rng rng(seed);
 

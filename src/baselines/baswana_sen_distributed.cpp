@@ -2,16 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace ultra::baselines {
 
 DistributedBaswanaSenResult baswana_sen_distributed(
     const graph::Graph& g, unsigned k, std::uint64_t seed,
     std::uint64_t message_cap_words) {
-  if (k == 0) {
-    throw std::invalid_argument("baswana_sen_distributed: k must be >= 1");
-  }
+  ULTRA_CHECK_ARG(k >= 1) << "baswana_sen_distributed: k must be >= 1";
   DistributedBaswanaSenResult result{spanner::Spanner(g), {}, {}, 0};
   result.message_cap_words = std::max<std::uint64_t>(8, message_cap_words);
 

@@ -1,8 +1,8 @@
 #include "baselines/baswana_sen_weighted.h"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "check/check.h"
 #include "util/rng.h"
 
 namespace ultra::baselines {
@@ -13,9 +13,7 @@ using graph::WeightedEdge;
 
 WeightedSpannerResult baswana_sen_weighted(const graph::WeightedGraph& g,
                                            unsigned k, std::uint64_t seed) {
-  if (k == 0) {
-    throw std::invalid_argument("baswana_sen_weighted: k must be >= 1");
-  }
+  ULTRA_CHECK_ARG(k >= 1) << "baswana_sen_weighted: k must be >= 1";
   const VertexId n = g.num_vertices();
   WeightedSpannerResult result;
   util::Rng rng(seed);

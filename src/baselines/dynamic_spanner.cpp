@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace ultra::baselines {
 
@@ -22,7 +23,7 @@ void remove_from(std::vector<VertexId>& list, VertexId x) {
 
 DynamicSpanner::DynamicSpanner(VertexId n, unsigned k)
     : k_(k), adj_(n), spanner_adj_(n), epoch_(n, 0), dist_(n, 0) {
-  if (k == 0) throw std::invalid_argument("DynamicSpanner: k must be >= 1");
+  ULTRA_CHECK_ARG(k >= 1) << "DynamicSpanner: k must be >= 1";
 }
 
 bool DynamicSpanner::has_edge(VertexId u, VertexId v) const {
@@ -91,9 +92,8 @@ void DynamicSpanner::spanner_remove(VertexId u, VertexId v) {
 }
 
 bool DynamicSpanner::insert(VertexId u, VertexId v) {
-  if (u >= adj_.size() || v >= adj_.size()) {
-    throw std::out_of_range("DynamicSpanner::insert: vertex out of range");
-  }
+  ULTRA_CHECK_BOUNDS(u < adj_.size() && v < adj_.size())
+      << "DynamicSpanner::insert: (" << u << "," << v << ") out of range";
   if (u == v || has_edge(u, v)) return false;
   edges_.insert(graph::edge_key(graph::make_edge(u, v)));
   adj_[u].push_back(v);
@@ -105,9 +105,8 @@ bool DynamicSpanner::insert(VertexId u, VertexId v) {
 }
 
 std::size_t DynamicSpanner::erase(VertexId u, VertexId v) {
-  if (!has_edge(u, v)) {
-    throw std::invalid_argument("DynamicSpanner::erase: edge not present");
-  }
+  ULTRA_CHECK_ARG(has_edge(u, v))
+      << "DynamicSpanner::erase: edge (" << u << "," << v << ") not present";
   const bool was_spanner = in_spanner(u, v);
 
   // Candidate set BEFORE mutating the spanner: only edges with an endpoint

@@ -1,7 +1,8 @@
 #include "baselines/streaming.h"
 
 #include <deque>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace ultra::baselines {
 
@@ -12,13 +13,12 @@ StreamingSpanner::StreamingSpanner(VertexId n, unsigned k)
       adjacency_(n),
       epoch_(n, 0),
       dist_(n, 0) {
-  if (k == 0) throw std::invalid_argument("StreamingSpanner: k must be >= 1");
+  ULTRA_CHECK_ARG(k >= 1) << "StreamingSpanner: k must be >= 1";
 }
 
 bool StreamingSpanner::offer(VertexId u, VertexId v) {
-  if (u >= adjacency_.size() || v >= adjacency_.size()) {
-    throw std::out_of_range("StreamingSpanner::offer: vertex out of range");
-  }
+  ULTRA_CHECK_BOUNDS(u < adjacency_.size() && v < adjacency_.size())
+      << "StreamingSpanner::offer: (" << u << "," << v << ") out of range";
   ++seen_;
   if (u == v) return false;
 

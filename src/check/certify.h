@@ -1,0 +1,74 @@
+// Runtime protocol validators ("correctness certificates"). The paper's
+// theorems promise structural invariants — a spanner with bounded distortion,
+// Expand clusterings that stay valid partitions with controlled radii — and
+// these functions re-derive those invariants from the artifacts alone, the
+// way deterministic-construction papers treat certificates as first-class
+// outputs. Each returns a Certificate rather than throwing, so callers can
+// choose between reporting (tests: EXPECT_TRUE(cert.ok) << cert.violation)
+// and enforcement (check::require(cert), which raises CheckError).
+//
+// Everything here is an *independent* recomputation: certify_spanner runs its
+// own BFS over host and spanner, certify_clustering its own membership and
+// radius audit — none of it trusts the counters maintained by the algorithm
+// under test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "spanner/spanner.h"
+
+namespace ultra::check {
+
+struct Certificate {
+  bool ok = true;
+  std::uint64_t checks = 0;      // individual assertions evaluated
+  std::string violation;         // first failure, human-readable ("" when ok)
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+// Raise CheckError (via ULTRA_CHECK) if the certificate records a violation.
+void require(const Certificate& cert);
+
+struct SpannerCertifyOptions {
+  double alpha = 1.0;            // multiplicative stretch bound
+  double beta = 0.0;             // additive slack
+  // BFS sources sampled from the host (0 = every vertex, the exact
+  // certificate). Sampling keeps the certificate O(sources * (m + m_S)).
+  std::uint32_t sample_sources = 24;
+  std::uint64_t seed = 1;
+  bool require_connectivity = true;  // reachable pairs must stay reachable
+};
+
+// Sampled-pair BFS distortion certificate for H ⊆ G: checks that every
+// spanner edge is a host edge, that reachability from each sampled source is
+// preserved, and that dist_H(s, v) <= alpha * dist_G(s, v) + beta for every
+// sampled pair.
+[[nodiscard]] Certificate certify_spanner(const graph::Graph& g,
+                                          const spanner::Spanner& h,
+                                          const SpannerCertifyOptions& options);
+
+// Pure multiplicative-stretch form: dist_H <= stretch * dist_G.
+[[nodiscard]] Certificate certify_spanner(const graph::Graph& g,
+                                          const spanner::Spanner& h,
+                                          double stretch);
+
+// Clustering invariants for the Expand / skeleton phases, over the raw state
+// arrays (core::ClusterState's fields; spans keep this layer free of a core
+// dependency). Verifies, for an n-vertex working graph g:
+//   - the three arrays all have exactly n entries;
+//   - every alive vertex names an alive center whose cluster is itself
+//     (cluster_of is a projection onto live centers — a valid partition);
+//   - every member of a live cluster is within `radius[center]` hops of the
+//     center *inside* the cluster (BFS restricted to members), i.e. the
+//     recorded radius really is an upper bound and clusters are connected —
+//     the Lemma 2 invariant that Expand grows radii by at most one per call.
+[[nodiscard]] Certificate certify_clustering(
+    const graph::Graph& g, std::span<const std::uint8_t> alive,
+    std::span<const graph::VertexId> cluster_of,
+    std::span<const std::uint32_t> radius);
+
+}  // namespace ultra::check

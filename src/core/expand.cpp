@@ -1,6 +1,7 @@
 #include "core/expand.h"
 
-#include <stdexcept>
+#include "check/certify.h"
+#include "check/check.h"
 
 namespace ultra::core {
 
@@ -34,14 +35,7 @@ std::vector<VertexId> ClusterState::live_cluster_ids() const {
 }
 
 void ClusterState::check_valid() const {
-  for (VertexId v = 0; v < alive.size(); ++v) {
-    if (!alive[v]) continue;
-    const VertexId c = cluster_of[v];
-    if (c >= alive.size() || !alive[c] || cluster_of[c] != c) {
-      throw std::logic_error("ClusterState: vertex " + std::to_string(v) +
-                             " has invalid cluster " + std::to_string(c));
-    }
-  }
+  check::require(check::certify_clustering(*g, alive, cluster_of, radius));
 }
 
 ExpandOutcome expand(ClusterState& state, double p, util::Rng& rng,
@@ -123,6 +117,12 @@ ExpandOutcome expand(ClusterState& state, double p, util::Rng& rng,
   for (VertexId c = 0; c < n; ++c) {
     if (joined_any[c]) ++state.radius[c];
   }
+#ifndef NDEBUG
+  // Debug builds certify the Fig. 2 output invariant after every call (the
+  // sanitizer presets build without NDEBUG, so this runs in `checked` CI).
+  check::require(
+      check::certify_clustering(g, state.alive, state.cluster_of, state.radius));
+#endif
   return out;
 }
 

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace ultra::core {
 
@@ -11,9 +12,7 @@ using util::kGoldenRatio;
 
 FibonacciLevels FibonacciLevels::plan(std::uint64_t n,
                                       const FibonacciParams& params) {
-  if (params.order < 1) {
-    throw std::invalid_argument("FibonacciLevels: order must be >= 1");
-  }
+  ULTRA_CHECK_ARG(params.order >= 1) << "FibonacciLevels: order must be >= 1";
   if (n < 2) {
     FibonacciLevels out;
     out.order = 1;

@@ -12,18 +12,6 @@ namespace ultra::core {
 
 using graph::VertexId;
 
-namespace {
-
-void accumulate(sim::Metrics& total, const sim::Metrics& part) {
-  total.rounds += part.rounds;
-  total.messages += part.messages;
-  total.total_words += part.total_words;
-  total.max_message_words =
-      std::max(total.max_message_words, part.max_message_words);
-}
-
-}  // namespace
-
 DistributedFibonacciResult build_fibonacci_distributed(
     const graph::Graph& g, const FibonacciParams& params) {
   const VertexId n = g.num_vertices();
@@ -65,7 +53,7 @@ DistributedFibonacciResult build_fibonacci_distributed(
     sim::Network net(g, 1);  // unit-length messages suffice for stage 1
     sim::TruncatedMinIdFlood flood(level_mask[i], radius);
     const sim::Metrics m = net.run(flood, radius + 4);
-    accumulate(result.network, m);
+    result.network.merge(m);
     result.stats.stage1_rounds += m.rounds;
     for (VertexId v = 0; v < n; ++v) {
       if (flood.dist()[v] != graph::kUnreachable && flood.dist()[v] >= 1) {
@@ -89,7 +77,7 @@ DistributedFibonacciResult build_fibonacci_distributed(
     sim::Network net(g, result.message_cap_words);
     sim::BallBroadcast bc(level_mask[i], radius);
     const sim::Metrics m = net.run(bc, radius + 4);
-    accumulate(result.network, m);
+    result.network.merge(m);
     result.stats.stage2_rounds += m.rounds;
     result.stats.ceased_nodes += bc.ceased().size();
 

@@ -1,8 +1,8 @@
 #include "core/schedule.h"
 
 #include <cmath>
-#include <stdexcept>
-#include <string>
+
+#include "check/check.h"
 
 namespace ultra::core {
 
@@ -58,15 +58,11 @@ SkeletonSchedule plan_schedule(std::uint64_t n, const SkeletonParams& params) {
   const double logn = std::log2(static_cast<double>(n));
   const double cap = std::pow(logn, params.eps);
   const double threshold = cap * std::log2(std::max(cap, 2.0));
-  if (params.D < 4) {
-    throw std::invalid_argument("plan_schedule: D must be >= 4 (Lemma 6)");
-  }
-  if (static_cast<double>(params.D) > cap) {
-    throw std::invalid_argument(
-        "plan_schedule: D = " + std::to_string(params.D) +
-        " exceeds the message cap log^eps n = " + std::to_string(cap) +
-        " (Theorem 2 requires D <= log^eps n)");
-  }
+  ULTRA_CHECK_ARG(params.D >= 4) << "plan_schedule: D must be >= 4 (Lemma 6)";
+  ULTRA_CHECK_ARG(static_cast<double>(params.D) <= cap)
+      << "plan_schedule: D = " << params.D
+      << " exceeds the message cap log^eps n = " << cap
+      << " (Theorem 2 requires D <= log^eps n)";
   plan.message_cap_words = cap;
   plan.density_threshold = threshold;
 

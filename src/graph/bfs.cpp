@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <deque>
 #include <queue>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace ultra::graph {
 
 BfsResult bfs(const Graph& g, VertexId source, std::uint32_t max_dist) {
   const VertexId n = g.num_vertices();
-  if (source >= n) throw std::out_of_range("bfs: source out of range");
+  ULTRA_CHECK_BOUNDS(source < n) << "bfs: source " << source
+                                 << " out of range";
   BfsResult result;
   result.dist.assign(n, kUnreachable);
   result.parent.assign(n, kInvalidVertex);
@@ -34,7 +36,8 @@ BfsResult bfs(const Graph& g, VertexId source, std::uint32_t max_dist) {
 std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source,
                                          std::uint32_t max_dist) {
   const VertexId n = g.num_vertices();
-  if (source >= n) throw std::out_of_range("bfs: source out of range");
+  ULTRA_CHECK_BOUNDS(source < n) << "bfs: source " << source
+                                 << " out of range";
   std::vector<std::uint32_t> dist(n, kUnreachable);
   std::deque<VertexId> queue;
   dist[source] = 0;
@@ -70,7 +73,8 @@ MultiSourceBfsResult multi_source_bfs(const Graph& g,
   // dist[w].
   std::vector<VertexId> frontier;
   for (const VertexId s : sources) {
-    if (s >= n) throw std::out_of_range("multi_source_bfs: source oob");
+    ULTRA_CHECK_BOUNDS(s < n)
+        << "multi_source_bfs: source " << s << " out of range";
     if (result.dist[s] != kUnreachable) continue;
     result.dist[s] = 0;
     result.nearest[s] = s;
@@ -116,7 +120,8 @@ std::vector<VertexId> shortest_path(const Graph& g, VertexId u, VertexId v) {
 std::vector<VertexId> ball(const Graph& g, VertexId center,
                            std::uint32_t radius) {
   const VertexId n = g.num_vertices();
-  if (center >= n) throw std::out_of_range("ball: center out of range");
+  ULTRA_CHECK_BOUNDS(center < n) << "ball: center " << center
+                                 << " out of range";
   std::vector<std::uint32_t> dist(n, kUnreachable);
   std::vector<VertexId> order;
   std::deque<VertexId> queue;

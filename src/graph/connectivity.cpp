@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace ultra::graph {
 
@@ -79,9 +80,8 @@ InducedSubgraph induced_subgraph(const Graph& g,
       out.to_original.end());
   for (std::size_t i = 0; i < out.to_original.size(); ++i) {
     const VertexId v = out.to_original[i];
-    if (v >= g.num_vertices()) {
-      throw std::out_of_range("induced_subgraph: vertex out of range");
-    }
+    ULTRA_CHECK_BOUNDS(v < g.num_vertices())
+        << "induced_subgraph: vertex " << v << " out of range";
     out.from_original[v] = static_cast<VertexId>(i);
   }
   std::vector<Edge> edges;

@@ -1,8 +1,9 @@
 #include "graph/contraction.h"
 
 #include <algorithm>
-#include <stdexcept>
 #include <unordered_map>
+
+#include "check/check.h"
 
 namespace ultra::graph {
 
@@ -10,22 +11,21 @@ Edge ContractedGraph::representative_of(VertexId a, VertexId b) const {
   const Edge target = make_edge(a, b);
   const auto edges = graph.edges();
   const auto it = std::lower_bound(edges.begin(), edges.end(), target);
-  if (it == edges.end() || !(*it == target)) {
-    throw std::invalid_argument("representative_of: not a quotient edge");
-  }
+  ULTRA_CHECK_ARG(it != edges.end() && *it == target)
+      << "representative_of: (" << a << "," << b << ") is not a quotient edge";
   return representative[static_cast<std::size_t>(it - edges.begin())];
 }
 
 ContractedGraph contract(const Graph& g, std::span<const std::uint32_t> part,
                          std::uint32_t num_parts,
                          std::span<const Edge> base_representative) {
-  if (part.size() != g.num_vertices()) {
-    throw std::invalid_argument("contract: part size mismatch");
-  }
-  if (!base_representative.empty() &&
-      base_representative.size() != g.num_edges()) {
-    throw std::invalid_argument("contract: representative size mismatch");
-  }
+  ULTRA_CHECK_ARG(part.size() == g.num_vertices())
+      << "contract: " << part.size() << " part entries for "
+      << g.num_vertices() << " vertices";
+  ULTRA_CHECK_ARG(base_representative.empty() ||
+                  base_representative.size() == g.num_edges())
+      << "contract: " << base_representative.size()
+      << " representatives for " << g.num_edges() << " edges";
 
   // Map each surviving quotient edge key -> representative original edge
   // (first one wins; "a single arbitrary edge").
@@ -38,9 +38,9 @@ ContractedGraph contract(const Graph& g, std::span<const std::uint32_t> part,
     const std::uint32_t pu = part[e.u];
     const std::uint32_t pv = part[e.v];
     if (pu == kDroppedVertex || pv == kDroppedVertex || pu == pv) continue;
-    if (pu >= num_parts || pv >= num_parts) {
-      throw std::out_of_range("contract: part id out of range");
-    }
+    ULTRA_CHECK_BOUNDS(pu < num_parts && pv < num_parts)
+        << "contract: part id out of range for edge (" << e.u << "," << e.v
+        << ")";
     const Edge qe = make_edge(pu, pv);
     const Edge orig = base_representative.empty() ? e : base_representative[i];
     if (rep.emplace(edge_key(qe), orig).second) {

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 #include <unordered_set>
+
+#include "check/check.h"
 
 namespace ultra::graph {
 
@@ -201,7 +202,7 @@ Graph torus_graph(VertexId width, VertexId height) {
 }
 
 Graph hypercube(std::uint32_t dims) {
-  if (dims >= 31) throw std::out_of_range("hypercube: dims too large");
+  ULTRA_CHECK_BOUNDS(dims < 31) << "hypercube: dims too large";
   const VertexId n = VertexId{1} << dims;
   std::vector<Edge> edges;
   for (VertexId v = 0; v < n; ++v) {

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace ultra::graph {
 
@@ -13,11 +14,8 @@ Graph Graph::from_edges(VertexId n, std::vector<Edge> edges) {
   for (const Edge& e : edges) {
     if (e.u == e.v) continue;
     const Edge ne = make_edge(e.u, e.v);
-    if (ne.v >= n) {
-      throw std::out_of_range("Graph::from_edges: endpoint id " +
-                              std::to_string(ne.v) + " >= n = " +
-                              std::to_string(n));
-    }
+    ULTRA_CHECK_BOUNDS(ne.v < n)
+        << "Graph::from_edges: endpoint id " << ne.v << " >= n = " << n;
     clean.push_back(ne);
   }
   std::sort(clean.begin(), clean.end());

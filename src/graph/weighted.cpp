@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <queue>
-#include <stdexcept>
 #include <unordered_map>
+
+#include "check/check.h"
 
 namespace ultra::graph {
 
@@ -15,13 +16,11 @@ WeightedGraph WeightedGraph::from_edges(VertexId n,
   best.reserve(edges.size());
   for (const WeightedEdge& e : edges) {
     if (e.u == e.v) continue;
-    if (e.u >= n || e.v >= n) {
-      throw std::out_of_range("WeightedGraph::from_edges: vertex oob");
-    }
-    if (!(e.w > 0)) {
-      throw std::invalid_argument(
-          "WeightedGraph::from_edges: weights must be positive");
-    }
+    ULTRA_CHECK_BOUNDS(e.u < n && e.v < n)
+        << "WeightedGraph::from_edges: edge (" << e.u << "," << e.v
+        << ") out of range for n = " << n;
+    ULTRA_CHECK_ARG(e.w > 0)
+        << "WeightedGraph::from_edges: weights must be positive";
     const std::uint64_t key = edge_key(make_edge(e.u, e.v));
     const auto it = best.find(key);
     if (it == best.end() || e.w < it->second) best[key] = e.w;
@@ -64,7 +63,8 @@ Graph WeightedGraph::topology() const {
 
 std::vector<Weight> dijkstra(const WeightedGraph& g, VertexId source) {
   const VertexId n = g.num_vertices();
-  if (source >= n) throw std::out_of_range("dijkstra: source oob");
+  ULTRA_CHECK_BOUNDS(source < n) << "dijkstra: source " << source
+                                 << " out of range";
   std::vector<Weight> dist(n, kInfiniteWeight);
   using Item = std::pair<Weight, VertexId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;

@@ -1,7 +1,8 @@
 #include "lowerbound/gadget.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace ultra::lowerbound {
 
@@ -12,9 +13,9 @@ std::uint64_t paper_vertex_count(const GadgetParams& p) {
 }
 
 Gadget build_gadget(const GadgetParams& p) {
-  if (p.beta < 2 || p.kappa < 2) {
-    throw std::invalid_argument("build_gadget: beta, kappa must be >= 2");
-  }
+  ULTRA_CHECK_ARG(p.beta >= 2 && p.kappa >= 2)
+      << "build_gadget: beta, kappa must be >= 2 (got beta=" << p.beta
+      << " kappa=" << p.kappa << ")";
   Gadget g;
   g.params = p;
   std::vector<Edge> edges;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_set>
+
+#include "check/check.h"
 
 namespace ultra::sim {
 
@@ -11,8 +12,6 @@ namespace {
 constexpr std::uint64_t pair_key(VertexId from, VertexId to) noexcept {
   return (static_cast<std::uint64_t>(from) << 32) | to;
 }
-// Per-round duplicate-send guard; function-local so Network stays lean.
-thread_local std::unordered_set<std::uint64_t> g_sent_pairs;
 }  // namespace
 
 std::uint64_t Mailbox::round() const noexcept { return net_.round(); }
@@ -34,19 +33,16 @@ std::uint64_t Mailbox::message_cap() const noexcept {
 }
 
 void Mailbox::send(VertexId to, std::vector<Word> payload) {
-  if (!net_.graph().has_edge(self_, to)) {
-    throw std::invalid_argument("Mailbox::send: " + std::to_string(self_) +
-                                " -> " + std::to_string(to) +
-                                " is not a network link");
-  }
+  ULTRA_CHECK_ARG(net_.graph().has_edge(self_, to))
+      << "Mailbox::send: " << self_ << " -> " << to
+      << " is not a network link";
   if (payload.size() > net_.cap_) {
     throw MessageTooLong("message of " + std::to_string(payload.size()) +
                          " words exceeds cap " + std::to_string(net_.cap_));
   }
-  if (!g_sent_pairs.insert(pair_key(self_, to)).second) {
-    throw std::invalid_argument(
-        "Mailbox::send: second message to the same neighbor in one round");
-  }
+  ULTRA_CHECK_ARG(net_.sent_pairs_.insert(pair_key(self_, to)).second)
+      << "Mailbox::send: second message from " << self_ << " to " << to
+      << " in one round";
   net_.metrics_.note_message(payload.size());
   net_.outbox_next_[to].push_back(Message{self_, std::move(payload)});
 }
@@ -57,8 +53,9 @@ void Mailbox::send_all(const std::vector<Word>& payload) {
 
 void Mailbox::stay_awake() { net_.awake_next_[self_] = 1; }
 
-Network::Network(const graph::Graph& g, std::uint64_t message_cap)
-    : graph_(g), cap_(message_cap) {
+Network::Network(const graph::Graph& g, std::uint64_t message_cap,
+                 AuditMode audit)
+    : graph_(g), cap_(message_cap), audit_(audit) {
   const VertexId n = g.num_vertices();
   inbox_.resize(n);
   outbox_next_.resize(n);
@@ -67,10 +64,29 @@ Network::Network(const graph::Graph& g, std::uint64_t message_cap)
 }
 
 bool Network::has_pending_messages() const noexcept {
-  for (const auto& box : inbox_) {
-    if (!box.empty()) return true;
+  return std::any_of(inbox_.begin(), inbox_.end(),
+                     [](const auto& box) { return !box.empty(); });
+}
+
+// Receiving-side re-verification, independent of the send-time checks: the
+// inbox of v must be strictly sorted by sender, every sender must be a real
+// neighbor, and every payload must respect the declared word cap. Catches
+// simulator bugs (mis-routed or duplicated deliveries) as well as protocol
+// code that somehow bypassed Mailbox::send.
+void Network::audit_inbox(VertexId v) const {
+  VertexId prev = graph::kInvalidVertex;
+  for (const Message& m : inbox_[v]) {
+    ULTRA_CHECK(prev == graph::kInvalidVertex || prev < m.from)
+        << "inbox of " << v << " not strictly sorted by sender at round "
+        << metrics_.rounds;
+    prev = m.from;
+    ULTRA_CHECK(graph_.has_edge(m.from, v))
+        << "delivered message " << m.from << " -> " << v
+        << " does not follow a network link";
+    ULTRA_CHECK(m.payload.size() <= cap_)
+        << "delivered message " << m.from << " -> " << v << " carries "
+        << m.payload.size() << " words, above the declared cap " << cap_;
   }
-  return false;
 }
 
 void Network::deliver_outboxes() {
@@ -79,6 +95,13 @@ void Network::deliver_outboxes() {
     outbox_next_[v].clear();
     std::sort(inbox_[v].begin(), inbox_[v].end(),
               [](const Message& a, const Message& b) { return a.from < b.from; });
+    for (const Message& m : inbox_[v]) {
+      metrics_.fold(metrics_.rounds);
+      metrics_.fold(m.from);
+      metrics_.fold(v);
+      metrics_.fold(m.payload.size());
+      for (const Word w : m.payload) metrics_.fold(w);
+    }
   }
 }
 
@@ -90,14 +113,21 @@ Metrics Network::run(Protocol& protocol, std::uint64_t max_rounds) {
   for (auto& box : inbox_) box.clear();
 
   while (!protocol.done(*this)) {
-    if (metrics_.rounds >= max_rounds) {
-      throw std::runtime_error("Network::run: protocol exceeded " +
-                               std::to_string(max_rounds) + " rounds");
-    }
-    g_sent_pairs.clear();
+    ULTRA_CHECK_RUNTIME(metrics_.rounds < max_rounds)
+        << "Network::run: protocol exceeded " << max_rounds << " rounds";
+    sent_pairs_.clear();
     std::fill(awake_next_.begin(), awake_next_.end(), 0);
+    VertexId last_activated = graph::kInvalidVertex;
     for (VertexId v = 0; v < num_nodes(); ++v) {
       if (!awake_[v] && inbox_[v].empty()) continue;
+      if (audit_ == AuditMode::kStrict) {
+        ULTRA_CHECK(last_activated == graph::kInvalidVertex ||
+                    last_activated < v)
+            << "activation order regressed at node " << v << " round "
+            << metrics_.rounds;
+        last_activated = v;
+        audit_inbox(v);
+      }
       Mailbox mb(*this, v);
       protocol.on_round(mb);
     }

@@ -13,11 +13,22 @@
 // The simulator is single-threaded and deterministic: node activations are in
 // id order, inboxes are sorted by sender. All randomness lives in the
 // protocols' explicitly seeded Rngs, so any run is exactly reproducible.
+//
+// Strict audit mode (the default) double-checks the discipline from the
+// receiving side: at every delivery the network re-verifies — independently
+// of the send-time checks — that each message travelled along a real link,
+// respected the declared word cap, and that inboxes arrive sorted by sender
+// with node activations in strictly increasing id order. Violations raise
+// check::CheckError. Every run also folds (round, sender, receiver, payload)
+// into Metrics::trace_digest, a replay fingerprint: two runs are
+// byte-identical in their communication iff their digests, rounds and message
+// counts agree.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/graph.h"
@@ -41,11 +52,35 @@ struct Metrics {
   std::uint64_t messages = 0;
   std::uint64_t total_words = 0;
   std::uint64_t max_message_words = 0;
+  // FNV-1a fingerprint of the full delivered message trace
+  // (round, from, to, length, words). Equal traces <=> equal digests for all
+  // practical purposes; used by the determinism regression tests.
+  std::uint64_t trace_digest = 14695981039346656037ull;
 
   void note_message(std::size_t words) noexcept {
     ++messages;
     total_words += words;
     if (words > max_message_words) max_message_words = words;
+  }
+
+  void fold(std::uint64_t word) noexcept {
+    trace_digest = (trace_digest ^ word) * 1099511628211ull;
+  }
+
+  // Accumulate another run's costs (used by constructions that execute a
+  // sequence of protocols); digests chain so the combined value still
+  // fingerprints the whole sequence.
+  void merge(const Metrics& other) noexcept {
+    rounds += other.rounds;
+    messages += other.messages;
+    total_words += other.total_words;
+    if (other.max_message_words > max_message_words) {
+      max_message_words = other.max_message_words;
+    }
+    // Fold a separator first: a lone fold(x) is XOR-commutative in x, and a
+    // trace is a sequence — merging A then B must not equal B then A.
+    fold(0x6d65726765ull);
+    fold(other.trace_digest);
   }
 };
 
@@ -56,6 +91,11 @@ class MessageTooLong : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+// kStrict re-audits every delivery (link validity, word cap, inbox order,
+// activation order) through the ULTRA_CHECK machinery; kFast trusts the
+// send-time checks only. Both are deterministic and fold the trace digest.
+enum class AuditMode : std::uint8_t { kStrict, kFast };
 
 class Network;
 
@@ -112,13 +152,15 @@ class Protocol {
 class Network {
  public:
   // message_cap: maximum words per message (kUnboundedMessages = LOCAL).
-  Network(const graph::Graph& g, std::uint64_t message_cap);
+  Network(const graph::Graph& g, std::uint64_t message_cap,
+          AuditMode audit = AuditMode::kStrict);
 
   [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] VertexId num_nodes() const noexcept {
     return graph_.num_vertices();
   }
   [[nodiscard]] std::uint64_t message_cap() const noexcept { return cap_; }
+  [[nodiscard]] AuditMode audit_mode() const noexcept { return audit_; }
   [[nodiscard]] std::uint64_t round() const noexcept {
     return metrics_.rounds;
   }
@@ -144,14 +186,16 @@ class Network {
   friend class Mailbox;
 
   void deliver_outboxes();
+  void audit_inbox(VertexId v) const;
 
   const graph::Graph& graph_;
   std::uint64_t cap_;
+  AuditMode audit_;
   Metrics metrics_;
 
   std::vector<std::vector<Message>> inbox_;       // per node, sorted by from
   std::vector<std::vector<Message>> outbox_next_; // accumulating sends
-  std::vector<std::uint8_t> sent_to_;             // per-round send dedup scratch
+  std::unordered_set<std::uint64_t> sent_pairs_;  // per-round send dedup
   std::vector<std::uint8_t> awake_;               // nodes to activate next round
   std::vector<std::uint8_t> awake_next_;
 };

@@ -1,17 +1,13 @@
 #include "spanner/spanner.h"
 
-#include <stdexcept>
-#include <string>
+#include "check/check.h"
 
 namespace ultra::spanner {
 
 void Spanner::add_edge(VertexId u, VertexId v) {
   const Edge e = graph::make_edge(u, v);
-  if (!host_->has_edge(e.u, e.v)) {
-    throw std::invalid_argument("Spanner::add_edge: (" + std::to_string(u) +
-                                "," + std::to_string(v) +
-                                ") is not a host edge");
-  }
+  ULTRA_CHECK_ARG(host_->has_edge(e.u, e.v))
+      << "Spanner::add_edge: (" << u << "," << v << ") is not a host edge";
   if (keys_.insert(graph::edge_key(e)).second) edges_.push_back(e);
 }
 

@@ -5,7 +5,8 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace ultra::util {
 
@@ -13,7 +14,7 @@ inline constexpr double kGoldenRatio = 1.6180339887498948482;  // (1+sqrt 5)/2
 
 // F_k, throws std::out_of_range for k > 92 (would overflow uint64).
 [[nodiscard]] constexpr std::uint64_t fibonacci(unsigned k) {
-  if (k > 92) throw std::out_of_range("fibonacci: k > 92 overflows uint64");
+  ULTRA_CHECK_BOUNDS(k <= 92) << "fibonacci: F_k overflows uint64";
   std::uint64_t a = 0, b = 1;  // F_0, F_1
   for (unsigned i = 0; i < k; ++i) {
     const std::uint64_t next = a + b;

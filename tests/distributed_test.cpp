@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/baswana_sen_distributed.h"
+#include "check/certify.h"
 #include "baselines/cds_skeleton.h"
 #include "baselines/mis_protocol.h"
 #include "baselines/baswana_sen.h"
@@ -117,6 +118,18 @@ TEST(DistributedSkeleton, DeterministicForSeed) {
   EXPECT_EQ(a.spanner.size(), b.spanner.size());
   EXPECT_EQ(a.network.rounds, b.network.rounds);
   EXPECT_EQ(a.network.messages, b.network.messages);
+}
+
+TEST(DistributedSkeleton, ExactCertificateWithinScheduleBound) {
+  util::Rng rng(17);
+  const Graph g = graph::connected_gnm(300, 1000, rng);
+  const auto result =
+      build_skeleton_distributed(g, {.D = 4, .eps = 1.0, .seed = 3});
+  check::SpannerCertifyOptions opts;
+  opts.alpha = static_cast<double>(result.schedule.distortion_bound);
+  opts.sample_sources = 0;
+  const auto cert = check::certify_spanner(g, result.spanner, opts);
+  EXPECT_TRUE(cert.ok) << cert.violation;
 }
 
 TEST(DistributedSkeleton, TinyGraphs) {

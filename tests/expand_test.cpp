@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "check/certify.h"
 #include "core/expand.h"
 #include "graph/generators.h"
 #include "util/rng.h"
@@ -151,6 +152,22 @@ TEST(Expand, DeterministicForSeed) {
   };
   EXPECT_EQ(run(42), run(42));
   EXPECT_NE(run(42), run(43));
+}
+
+TEST(Expand, ClusteringCertifiedAfterEveryCall) {
+  // The independent certificate (own membership + restricted-BFS radius
+  // audit) must agree with check_valid() at every step of a sampling sweep.
+  util::Rng graph_rng(19);
+  const Graph g = graph::connected_gnm(250, 800, graph_rng);
+  ClusterState s = ClusterState::trivial(g);
+  util::Rng rng(23);
+  for (const double p : {0.9, 0.5, 0.3, 0.1}) {
+    collect(s, p, rng);
+    const auto cert =
+        check::certify_clustering(g, s.alive, s.cluster_of, s.radius);
+    ASSERT_TRUE(cert.ok) << "p=" << p << ": " << cert.violation;
+    EXPECT_GT(cert.checks, 0u);
+  }
 }
 
 }  // namespace

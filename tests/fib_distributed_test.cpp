@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "check/certify.h"
 #include "core/ball_broadcast.h"
 #include "core/fib_distortion.h"
 #include "core/fibonacci.h"
@@ -11,6 +13,7 @@
 #include "graph/generators.h"
 #include "spanner/evaluate.h"
 #include "util/rng.h"
+#include "util/saturating.h"
 
 namespace ultra::core {
 namespace {
@@ -146,10 +149,15 @@ INSTANTIATE_TEST_SUITE_P(
                       FibDistCase{600, 3600, 2, 8, 2.5, 4},
                       FibDistCase{300, 1500, 2, 5, 4.0, 5}),
     [](const ::testing::TestParamInfo<FibDistCase>& info) {
-      return "n" + std::to_string(info.param.n) + "_o" +
-             std::to_string(info.param.order) + "_t" +
-             std::to_string(static_cast<int>(info.param.t * 10)) + "_s" +
-             std::to_string(info.param.seed);
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += "_o";
+      name += std::to_string(info.param.order);
+      name += "_t";
+      name += std::to_string(static_cast<int>(info.param.t * 10));
+      name += "_s";
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 TEST(FibDistributed, UnboundedMatchesSequentialClosely) {
@@ -207,6 +215,29 @@ TEST(FibDistributed, RoundAccountingPositiveAndComposed) {
   EXPECT_EQ(r.network.rounds, r.stats.stage1_rounds + r.stats.stage2_rounds +
                                   r.stats.marking_rounds +
                                   r.stats.repair_rounds);
+}
+
+TEST(FibonacciDistributed, ExactSpannerCertificate) {
+  // Same linearization of the Theorem 7 bound as the sequential suite, now
+  // over the distributed construction (CONGEST-capped messages).
+  util::Rng rng(29);
+  const Graph g = graph::connected_gnm(250, 1000, rng);
+  const FibonacciParams params{
+      .order = 2, .eps = 1.0, .ell = 6, .message_t = 3.0, .seed = 11};
+  const auto result = build_fibonacci_distributed(g, params);
+  const auto& lv = result.levels;
+  double alpha = 1.0;
+  for (std::uint64_t d = 1; d <= g.num_vertices(); ++d) {
+    const std::uint64_t bound = fib_pair_bound(lv.ell, lv.order, d);
+    ASSERT_NE(bound, util::kSaturated) << "d=" << d;
+    alpha = std::max(alpha,
+                     static_cast<double>(bound) / static_cast<double>(d));
+  }
+  check::SpannerCertifyOptions opts;
+  opts.alpha = alpha;
+  opts.sample_sources = 0;
+  const auto cert = check::certify_spanner(g, result.spanner, opts);
+  EXPECT_TRUE(cert.ok) << cert.violation;
 }
 
 }  // namespace

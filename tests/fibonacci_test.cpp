@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "check/certify.h"
 #include "core/fib_distortion.h"
 #include "core/fibonacci.h"
 #include "graph/bfs.h"
@@ -10,6 +12,7 @@
 #include "spanner/evaluate.h"
 #include "util/fibonacci.h"
 #include "util/rng.h"
+#include "util/saturating.h"
 
 namespace ultra::core {
 namespace {
@@ -236,6 +239,29 @@ TEST(Fibonacci, StatsAccountingConsistent) {
   // Edge sets overlap (paths share edges), so the sum over-counts.
   EXPECT_GE(accounted, st.spanner_size);
   EXPECT_EQ(st.spanner_size, result.spanner.size());
+}
+
+TEST(Fibonacci, ExactSpannerCertificate) {
+  // Theorem 7's bound is distance-sensitive; the strongest linear bound it
+  // implies is alpha = max_d fib_pair_bound(d) / d, which the certificate
+  // then verifies over every pair.
+  util::Rng rng(17);
+  const Graph g = graph::connected_gnm(300, 1200, rng);
+  const auto result =
+      build_fibonacci(g, {.order = 2, .eps = 1.0, .ell = 5, .seed = 9});
+  const auto& lv = result.stats.levels;
+  double alpha = 1.0;
+  for (std::uint64_t d = 1; d <= g.num_vertices(); ++d) {
+    const std::uint64_t bound = fib_pair_bound(lv.ell, lv.order, d);
+    ASSERT_NE(bound, util::kSaturated) << "d=" << d;
+    alpha = std::max(alpha,
+                     static_cast<double>(bound) / static_cast<double>(d));
+  }
+  check::SpannerCertifyOptions opts;
+  opts.alpha = alpha;
+  opts.sample_sources = 0;
+  const auto cert = check::certify_spanner(g, result.spanner, opts);
+  EXPECT_TRUE(cert.ok) << cert.violation;
 }
 
 TEST(Fibonacci, DeterministicForSeed) {

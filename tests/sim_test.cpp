@@ -129,6 +129,92 @@ TEST(Network, ThrowsWhenRoundBudgetExceeded) {
   EXPECT_THROW(net.run(p, 5), std::runtime_error);
 }
 
+// Sends one payload of each length in `lengths` from node 0 to node 1, one
+// per round. Probes the word-accounting at a given cap.
+class VariableLengthSends : public Protocol {
+ public:
+  explicit VariableLengthSends(std::vector<std::size_t> lengths)
+      : lengths_(std::move(lengths)) {}
+  void begin(Network&) override {}
+  void on_round(Mailbox& mb) override {
+    if (mb.self() == 0 && mb.round() < lengths_.size()) {
+      mb.send(1, std::vector<Word>(lengths_[mb.round()], Word{3}));
+      mb.stay_awake();
+    }
+  }
+  [[nodiscard]] bool done(const Network& net) const override {
+    return net.round() > lengths_.size();
+  }
+  std::vector<std::size_t> lengths_;
+};
+
+TEST(Network, WordCapAccountingAtCongestCap) {
+  // cap = 1 is the CONGEST model: unit messages pass, anything longer is a
+  // protocol bug and must be rejected before delivery.
+  const Graph g = graph::path_graph(2);
+  {
+    Network net(g, 1);
+    VariableLengthSends p({1, 1, 1});
+    const Metrics m = net.run(p, 10);
+    EXPECT_EQ(m.messages, 3u);
+    EXPECT_EQ(m.total_words, 3u);
+    EXPECT_EQ(m.max_message_words, 1u);
+  }
+  {
+    Network net(g, 1);
+    VariableLengthSends p({1, 2});
+    EXPECT_THROW(net.run(p, 10), MessageTooLong);
+  }
+}
+
+TEST(Network, WordCapAccountingUnbounded) {
+  // kUnboundedMessages is the LOCAL model: any length goes through and the
+  // accounting still totals exact word counts.
+  const Graph g = graph::path_graph(2);
+  Network net(g, kUnboundedMessages);
+  VariableLengthSends p({1, 1000, 7});
+  const Metrics m = net.run(p, 10);
+  EXPECT_EQ(m.messages, 3u);
+  EXPECT_EQ(m.total_words, 1008u);
+  EXPECT_EQ(m.max_message_words, 1000u);
+}
+
+TEST(Network, ZeroLengthMessagesAreCountedButCostNoWords) {
+  const Graph g = graph::path_graph(2);
+  Network net(g, 1);
+  VariableLengthSends p({0, 0});
+  const Metrics m = net.run(p, 10);
+  EXPECT_EQ(m.messages, 2u);
+  EXPECT_EQ(m.total_words, 0u);
+  EXPECT_EQ(m.max_message_words, 0u);
+}
+
+TEST(Network, TraceDigestFingerprintsTheRun) {
+  const Graph cyc = graph::cycle_graph(6);
+  const auto digest_of = [&](const Graph& g, AuditMode mode) {
+    Network net(g, 4, mode);
+    PingProtocol p;
+    net.run(p, 10);
+    return net.metrics().trace_digest;
+  };
+  // Reproducible, and independent of the audit mode (the strict auditor is
+  // an observer, not a participant).
+  EXPECT_EQ(digest_of(cyc, AuditMode::kStrict),
+            digest_of(cyc, AuditMode::kStrict));
+  EXPECT_EQ(digest_of(cyc, AuditMode::kStrict),
+            digest_of(cyc, AuditMode::kFast));
+  // Sensitive to the communication pattern.
+  const Graph path = graph::path_graph(6);
+  EXPECT_NE(digest_of(cyc, AuditMode::kStrict),
+            digest_of(path, AuditMode::kStrict));
+}
+
+TEST(Network, StrictAuditIsTheDefault) {
+  const Graph g = graph::path_graph(2);
+  Network net(g, 1);
+  EXPECT_EQ(net.audit_mode(), AuditMode::kStrict);
+}
+
 TEST(BfsFlood, MatchesSequentialBfs) {
   util::Rng rng(31);
   const Graph g = graph::connected_gnm(120, 300, rng);

@@ -2,6 +2,7 @@
 
 #include <tuple>
 
+#include "check/certify.h"
 #include "core/skeleton.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
@@ -107,6 +108,21 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.D) + "_s" +
              std::to_string(info.param.seed);
     });
+
+TEST(Skeleton, ExactCertificateWithinScheduleBound) {
+  // Full (all-sources) certificate: subgraph, connectivity preservation and
+  // the schedule's own Lemma-4 distortion bound, all recomputed
+  // independently of the construction.
+  util::Rng rng(23);
+  const Graph g = graph::connected_gnm(200, 700, rng);
+  const auto result = build_skeleton(g, {.D = 4, .eps = 1.0, .seed = 5});
+  check::SpannerCertifyOptions opts;
+  opts.alpha = static_cast<double>(result.stats.schedule.distortion_bound);
+  opts.sample_sources = 0;
+  const auto cert = check::certify_spanner(g, result.spanner, opts);
+  EXPECT_TRUE(cert.ok) << cert.violation;
+  EXPECT_NO_THROW(check::require(cert));
+}
 
 TEST(Skeleton, ExactDistortionOnSmallGraphWithinBound) {
   util::Rng rng(21);

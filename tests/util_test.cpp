@@ -132,6 +132,53 @@ TEST(Saturating, LogStar) {
   EXPECT_EQ(log_star(std::uint64_t{1} << 63), 5u);
 }
 
+TEST(Saturating, AddOverflowBoundaries) {
+  // The exact edge: a + b == 2^64 - 1 is representable, one more saturates.
+  EXPECT_EQ(sat_add(kSaturated - 5, 5), kSaturated);
+  EXPECT_EQ(sat_add(kSaturated - 5, 4), kSaturated - 1);
+  EXPECT_EQ(sat_add(kSaturated - 5, 6), kSaturated);
+  EXPECT_EQ(sat_add(0, kSaturated), kSaturated);
+  EXPECT_EQ(sat_add(0, 0), 0u);
+  // Commutative at the boundary.
+  EXPECT_EQ(sat_add(1, kSaturated), sat_add(kSaturated, 1));
+}
+
+TEST(Saturating, MulOverflowBoundaries) {
+  // 2^32 * (2^32 - 1) < 2^64 <= 2^32 * 2^32.
+  const std::uint64_t b32 = std::uint64_t{1} << 32;
+  EXPECT_EQ(sat_mul(b32, b32 - 1), b32 * (b32 - 1));
+  EXPECT_EQ(sat_mul(b32, b32), kSaturated);
+  EXPECT_EQ(sat_mul(kSaturated, 1), kSaturated);
+  EXPECT_EQ(sat_mul(1, kSaturated), kSaturated);
+  EXPECT_EQ(sat_mul(kSaturated, 0), 0u);
+  // Largest exact product of the form p * q with p = 2: (2^63 - 1) * 2.
+  EXPECT_EQ(sat_mul(2, (std::uint64_t{1} << 63) - 1), kSaturated - 1);
+  EXPECT_EQ(sat_mul(2, std::uint64_t{1} << 63), kSaturated);
+}
+
+TEST(Saturating, PowOverflowBoundaries) {
+  // 2^63 exact, 2^64 saturates; also the paper's tower s_3 = 256^256.
+  EXPECT_EQ(sat_pow(2, 63), std::uint64_t{1} << 63);
+  EXPECT_EQ(sat_pow(2, 64), kSaturated);
+  EXPECT_EQ(sat_pow(2, 10000), kSaturated);
+  EXPECT_EQ(sat_pow(kSaturated, 1), kSaturated);
+  EXPECT_EQ(sat_pow(kSaturated, 0), 1u);
+  EXPECT_EQ(sat_pow(3, 40), 12157665459056928801ull);  // 3^40 < 2^64
+  EXPECT_EQ(sat_pow(3, 41), kSaturated);
+  // Saturation is sticky: once the base clamps, the result stays clamped.
+  EXPECT_EQ(sat_pow(sat_pow(256, 256), 2), kSaturated);
+}
+
+TEST(Saturating, LogBoundaries) {
+  EXPECT_EQ(floor_log2(0), 0u);
+  EXPECT_EQ(floor_log2(kSaturated), 63u);
+  EXPECT_EQ(ceil_log2(0), 0u);
+  EXPECT_EQ(ceil_log2(kSaturated), 64u);
+  EXPECT_EQ(ceil_log2((std::uint64_t{1} << 63) + 1), 64u);
+  EXPECT_EQ(log_star(0), 0u);
+  EXPECT_EQ(log_star(kSaturated), 5u);
+}
+
 TEST(Fibonacci, Values) {
   EXPECT_EQ(fibonacci(0), 0u);
   EXPECT_EQ(fibonacci(1), 1u);
@@ -206,6 +253,49 @@ TEST(Table, RendersAlignedRows) {
   EXPECT_NE(out.find("3.14"), std::string::npos);
   // Header separator present.
   EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, AllCellOverloadsRender) {
+  Table t({"i64", "u64", "int", "uint", "cstr", "dbl"});
+  t.row()
+      .cell(std::int64_t{-5})
+      .cell(std::uint64_t{18446744073709551615ull})
+      .cell(-7)
+      .cell(9u)
+      .cell("raw")
+      .cell(0.125, 3);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("-5"), std::string::npos);
+  EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(out.find("-7"), std::string::npos);
+  EXPECT_NE(out.find("raw"), std::string::npos);
+  EXPECT_NE(out.find("0.125"), std::string::npos);
+}
+
+TEST(Table, ColumnsPadToWidestCell) {
+  Table t({"x"});
+  t.row().cell("short");
+  t.row().cell("a-much-longer-cell");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Every data row is rendered at equal width: the short cell's row must be
+  // padded out to the long cell's width.
+  std::istringstream lines(out);
+  std::string first, line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "misaligned row: " << line;
+  }
+}
+
+TEST(Table, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
 }
 
 }  // namespace

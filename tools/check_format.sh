@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# No-diff formatting gate: every tracked C++ source must already be formatted
+# per .clang-format. Exits non-zero listing offending files otherwise.
+#
+# clang-format is not baked into every container this repo builds in; when the
+# binary is absent the gate reports SKIP and exits 0 so the rest of the
+# analysis pipeline still runs. Set ULTRA_REQUIRE_FORMAT=1 to turn absence
+# into a hard failure (CI images that do ship the tool).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  if [[ "${ULTRA_REQUIRE_FORMAT:-0}" == "1" ]]; then
+    echo "check_format: FAIL — $CLANG_FORMAT not found and ULTRA_REQUIRE_FORMAT=1" >&2
+    exit 1
+  fi
+  echo "check_format: SKIP — $CLANG_FORMAT not available in this environment"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files -- 'src/**/*.h' 'src/**/*.cpp' \
+  'tests/*.cpp' 'bench/*.h' 'bench/*.cpp' 'examples/*.cpp')
+
+bad=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "check_format: needs formatting: $f" >&2
+    bad=1
+  fi
+done
+
+if [[ $bad -ne 0 ]]; then
+  echo "check_format: FAIL — run: $CLANG_FORMAT -i <files>" >&2
+  exit 1
+fi
+echo "check_format: OK (${#files[@]} files)"
