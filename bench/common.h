@@ -2,16 +2,28 @@
 // the paper's tables/figures (see DESIGN.md's per-experiment index) as an
 // aligned text table on stdout; EXPERIMENTS.md records representative output
 // next to the paper's claim.
+//
+// The --json layer (JsonObject + run_sim_transport_json) emits one
+// machine-readable record per workload — graph parameters, protocol costs,
+// wall-clock and peak RSS — so tools/run_bench.sh can accumulate the perf
+// trajectory in BENCH_sim.json across PRs.
 #pragma once
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "sim/flood.h"
+#include "sim/network.h"
 #include "spanner/evaluate.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -41,5 +53,167 @@ class WallClock {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+// Peak resident set size of this process, in bytes (Linux reports KiB).
+inline std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+}
+
+// Minimal ordered JSON object writer — enough for flat benchmark records
+// (numbers, strings, and raw nested values) without external dependencies.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& field(const std::string& key, double v) {
+    std::ostringstream os;
+    os.precision(9);
+    os << v;
+    return raw(key, os.str());
+  }
+  JsonObject& field(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + v + "\"");
+  }
+  // `value` must already be valid JSON (a nested object, array, ...).
+  JsonObject& raw(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, value);
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + entries_[i].first + "\": " + entries_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+// Transport stress protocol: every node broadcasts its id every round for a
+// fixed number of rounds — 2m messages per round, the densest load the model
+// allows, isolating pure simulator overhead from algorithmic behavior.
+class PingAllProtocol : public sim::Protocol {
+ public:
+  explicit PingAllProtocol(std::uint64_t rounds) : rounds_(rounds) {}
+  void begin(sim::Network&) override {}
+  void on_round(sim::Mailbox& mb) override {
+    if (mb.round() < rounds_) {
+      mb.send_all({sim::Word{mb.self()}});
+      mb.stay_awake();
+    }
+  }
+  [[nodiscard]] bool done(const sim::Network& net) const override {
+    return net.round() > rounds_;
+  }
+
+ private:
+  std::uint64_t rounds_;
+};
+
+struct SimTransportOptions {
+  graph::VertexId n = 100000;
+  std::uint64_t m = 1000000;
+  std::uint64_t seed = 1;
+  std::uint64_t cap = 1;
+  int repeats = 3;
+  std::string protocol = "bfs_flood";  // or "ping_all"
+  sim::AuditMode audit = sim::AuditMode::kStrict;
+  std::uint64_t ping_rounds = 8;
+};
+
+// Run the simulator-transport benchmark and return the JSON record. The
+// workload is er_workload(n, m); rounds-per-second aggregates `repeats`
+// fresh Network runs over one shared graph.
+inline std::string sim_transport_json(const SimTransportOptions& opt) {
+  const graph::Graph g = er_workload(opt.n, opt.m, opt.seed);
+  sim::Metrics total{};
+  std::uint64_t digest = 0;
+  const WallClock clock;
+  for (int r = 0; r < opt.repeats; ++r) {
+    sim::Network net(g, opt.cap, opt.audit);
+    sim::Metrics met;
+    if (opt.protocol == "ping_all") {
+      PingAllProtocol p(opt.ping_rounds);
+      met = net.run(p, opt.ping_rounds + 4);
+    } else {
+      sim::BfsFlood p(0);
+      met = net.run(p, 8 * static_cast<std::uint64_t>(opt.n) + 64);
+    }
+    total.rounds += met.rounds;
+    total.messages += met.messages;
+    total.total_words += met.total_words;
+    digest = met.trace_digest;  // identical across repeats (deterministic)
+  }
+  const double wall = clock.seconds();
+
+  JsonObject workload;
+  workload.field("generator", std::string("er_workload"))
+      .field("n", std::uint64_t{opt.n})
+      .field("m", opt.m)
+      .field("seed", opt.seed);
+  JsonObject record;
+  record.field("schema", std::string("ultra.bench_sim.v1"))
+      .field("bench", std::string("sim_transport"))
+      .raw("workload", workload.str())
+      .field("protocol", opt.protocol)
+      .field("audit", std::string(opt.audit == sim::AuditMode::kStrict
+                                      ? "strict"
+                                      : "fast"))
+      .field("message_cap", opt.cap)
+      .field("repeats", std::uint64_t(opt.repeats))
+      .field("rounds", total.rounds)
+      .field("messages", total.messages)
+      .field("total_words", total.total_words)
+      .field("trace_digest", digest)
+      .field("wall_seconds", wall)
+      .field("rounds_per_second", wall > 0 ? total.rounds / wall : 0.0)
+      .field("messages_per_second", wall > 0 ? total.messages / wall : 0.0)
+      .field("peak_rss_bytes", peak_rss_bytes());
+  return record.str();
+}
+
+// `argv`-style driver for the --json mode of micro_core: parses
+// --n/--m/--seed/--cap/--repeats/--protocol/--audit overrides and prints one
+// JSON record to stdout. Returns a process exit code.
+inline int run_sim_transport_json(int argc, char** argv) {
+  SimTransportOptions opt;
+  auto next_u64 = [&](int& i) -> std::uint64_t {
+    return i + 1 < argc ? std::strtoull(argv[++i], nullptr, 10) : 0;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") continue;
+    if (arg == "--n") {
+      opt.n = static_cast<graph::VertexId>(next_u64(i));
+    } else if (arg == "--m") {
+      opt.m = next_u64(i);
+    } else if (arg == "--seed") {
+      opt.seed = next_u64(i);
+    } else if (arg == "--cap") {
+      opt.cap = next_u64(i);
+    } else if (arg == "--repeats") {
+      opt.repeats = static_cast<int>(next_u64(i));
+    } else if (arg == "--ping-rounds") {
+      opt.ping_rounds = next_u64(i);
+    } else if (arg == "--protocol" && i + 1 < argc) {
+      opt.protocol = argv[++i];
+    } else if (arg == "--audit" && i + 1 < argc) {
+      opt.audit = std::string(argv[++i]) == "fast" ? sim::AuditMode::kFast
+                                                   : sim::AuditMode::kStrict;
+    } else {
+      std::cerr << "unknown --json option: " << arg << "\n";
+      return 2;
+    }
+  }
+  std::cout << sim_transport_json(opt) << "\n";
+  return 0;
+}
 
 }  // namespace ultra::bench

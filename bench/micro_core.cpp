@@ -1,18 +1,29 @@
 // E13 — sequential construction cost (google-benchmark). Section 2 remarks
 // the skeleton is sequentially constructible in O(m log n / log log n);
 // these microbenchmarks measure the real per-edge cost of the skeleton, the
-// Expand primitive, Baswana–Sen, BFS, contraction and Fibonacci ball
-// growing, across sizes — the library's inner loops.
+// Expand primitive, Baswana–Sen, BFS, contraction, Fibonacci ball growing
+// and the network transport's round loop, across sizes — the library's
+// inner loops.
+//
+// `micro_core --json [--n N --m M --repeats R --protocol bfs_flood|ping_all
+// --audit strict|fast --cap C]` instead runs the simulator-transport
+// workload once and prints one BENCH JSON record (see bench/common.h);
+// tools/run_bench.sh drives this mode to maintain BENCH_sim.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "baselines/baswana_sen.h"
+#include "common.h"
 #include "core/expand.h"
 #include "core/fibonacci.h"
 #include "core/skeleton.h"
 #include "graph/bfs.h"
 #include "graph/contraction.h"
 #include "graph/generators.h"
+#include "sim/flood.h"
+#include "sim/network.h"
 #include "util/rng.h"
 
 namespace {
@@ -101,6 +112,49 @@ void BM_FibonacciBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_FibonacciBuild)->Arg(1000)->Arg(10000);
 
+// The transport round loop itself: a full BFS flood (CONGEST, strict audit)
+// per iteration — every message crosses the arena, the CSR scatter and the
+// worklist merge.
+void BM_NetworkBfsFlood(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    sim::Network net(g, 1);
+    sim::BfsFlood flood(0);
+    const auto m = net.run(flood, 100000);
+    rounds += m.rounds;
+    benchmark::DoNotOptimize(m.trace_digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_NetworkBfsFlood)->Arg(10000)->Arg(100000);
+
+// Densest legal load: every node broadcasts every round (2m messages/round).
+void BM_NetworkPingAll(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    sim::Network net(g, 1);
+    bench::PingAllProtocol p(4);
+    const auto m = net.run(p, 16);
+    msgs += m.messages;
+    benchmark::DoNotOptimize(m.trace_digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+}
+BENCHMARK(BM_NetworkPingAll)->Arg(10000)->Arg(100000);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return ultra::bench::run_sim_transport_json(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

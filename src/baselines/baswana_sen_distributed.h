@@ -24,6 +24,7 @@ struct DistributedBaswanaSenResult {
 
 [[nodiscard]] DistributedBaswanaSenResult baswana_sen_distributed(
     const graph::Graph& g, unsigned k, std::uint64_t seed,
-    std::uint64_t message_cap_words = 8);
+    std::uint64_t message_cap_words = 8,
+    sim::AuditMode audit = sim::AuditMode::kStrict);
 
 }  // namespace ultra::baselines

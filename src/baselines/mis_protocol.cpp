@@ -29,7 +29,7 @@ void LubyMisProtocol::on_round(sim::Mailbox& mb) {
 
   // Process join announcements first: an undecided node adjacent to a fresh
   // MIS member drops out before the next rank exchange.
-  for (const sim::Message& m : mb.inbox()) {
+  for (const sim::MessageView& m : mb.inbox()) {
     if (!m.payload.empty() && m.payload[0] == kTagJoined &&
         state_[v] == State::kUndecided) {
       state_[v] = State::kOut;
@@ -43,13 +43,13 @@ void LubyMisProtocol::on_round(sim::Mailbox& mb) {
     // Rank exchange step: draw and broadcast this Luby round's rank.
     luby_rounds_ = std::max(luby_rounds_, mb.round() / 2 + 1);
     my_rank_[v] = node_rng_[v].next();
-    mb.send_all(std::vector<Word>{kTagRank, my_rank_[v]});
+    mb.send_all({kTagRank, my_rank_[v]});
   } else {
     // Decide step: ranks from currently-undecided neighbors are in the
     // inbox (decided neighbors sent nothing). Strict lexicographic
     // (rank, id) minimum joins — adjacent double-joins are impossible.
     bool is_min = true;
-    for (const sim::Message& m : mb.inbox()) {
+    for (const sim::MessageView& m : mb.inbox()) {
       if (m.payload.empty() || m.payload[0] != kTagRank) continue;
       const std::uint64_t their = m.payload[1];
       if (their < my_rank_[v] || (their == my_rank_[v] && m.from < v)) {
@@ -60,7 +60,7 @@ void LubyMisProtocol::on_round(sim::Mailbox& mb) {
     if (is_min) {
       state_[v] = State::kInMis;
       --undecided_;
-      mb.send_all(std::vector<Word>{kTagJoined});
+      mb.send_all({kTagJoined});
     }
   }
 }

@@ -28,7 +28,7 @@ void BallBroadcast::on_round(Mailbox& mb) {
       fresh.emplace_back(Word{v}, graph::kInvalidVertex);
     }
   } else {
-    for (const Message& m : mb.inbox()) {
+    for (const MessageView& m : mb.inbox()) {
       for (const Word y : m.payload) {
         const auto src = static_cast<VertexId>(y);
         if (known_[v].emplace(src, KnownSource{now, m.from}).second) {
@@ -59,7 +59,7 @@ void BallBroadcast::on_round(Mailbox& mb) {
   }
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
     if (!per_neighbor[i].empty()) {
-      mb.send(nbrs[i], std::move(per_neighbor[i]));
+      mb.send(nbrs[i], per_neighbor[i]);  // copied into the round arena
     }
   }
 }

@@ -222,7 +222,7 @@ void ClusterProtocol::handle_round_start(sim::Mailbox& mb) {
     horizon_[v] = first_unsampled_[round_index_][v];
   } else {
     bool got = false;
-    for (const sim::Message& m : mb.inbox()) {
+    for (const sim::MessageView& m : mb.inbox()) {
       if (!m.payload.empty() && m.payload[0] == kTagHorizon &&
           m.from == p1_[v]) {
         horizon_[v] = static_cast<std::uint32_t>(m.payload[1]);
@@ -234,7 +234,7 @@ void ClusterProtocol::handle_round_start(sim::Mailbox& mb) {
   horizon_known_[v] = 1;
   --barrier_pending_;
   for (const VertexId c : children_[v]) {
-    mb.send(c, std::vector<Word>{kTagHorizon, horizon_[v]});
+    mb.send(c, {kTagHorizon, horizon_[v]});
   }
 }
 
@@ -244,7 +244,7 @@ void ClusterProtocol::handle_status(sim::Mailbox& mb) {
   const VertexId v = mb.self();
   // One message to every neighbor: {tag, cluster center, horizon}. Dead
   // neighbors simply ignore it.
-  mb.send_all(std::vector<Word>{kTagStatus, ccenter_[v], horizon_[v]});
+  mb.send_all({kTagStatus, ccenter_[v], horizon_[v]});
 }
 
 // --- Phase: act (convergecast, decide, resolve) ---------------------------
@@ -255,7 +255,7 @@ void ClusterProtocol::read_statuses(sim::Mailbox& mb) {
   if (!is_acting(v)) return;
   // Extract (a) the best candidate edge into a *sampled* cluster and (b) the
   // deduplicated local list of adjacent clusters for the DIE case.
-  for (const sim::Message& m : mb.inbox()) {
+  for (const sim::MessageView& m : mb.inbox()) {
     if (m.payload.empty() || m.payload[0] != kTagStatus) continue;
     const auto their_center = static_cast<VertexId>(m.payload[1]);
     const auto their_horizon = static_cast<std::uint32_t>(m.payload[2]);
@@ -285,9 +285,8 @@ void ClusterProtocol::send_candidate_up_or_decide(sim::Mailbox& mb) {
     return;
   }
   const Candidate& b = best_[v];
-  mb.send(p1_[v],
-          std::vector<Word>{kTagCand, b.has ? Word{1} : Word{0},
-                            b.target_center, b.target_horizon, b.v, b.w});
+  mb.send(p1_[v], {kTagCand, b.has ? Word{1} : Word{0}, b.target_center,
+                   b.target_horizon, b.v, b.w});
 }
 
 void ClusterProtocol::center_decide(sim::Mailbox& mb) {
@@ -302,8 +301,8 @@ void ClusterProtocol::center_decide(sim::Mailbox& mb) {
     p2_[v] = (b.v == v) ? b.w : winner_child_[v];
     for (const VertexId c : children_[v]) {
       const Word on_path = (winner_child_[v] == c && b.v != v) ? 1 : 0;
-      mb.send(c, std::vector<Word>{kTagJoin, b.target_center,
-                                   b.target_horizon, b.v, b.w, on_path});
+      mb.send(c, {kTagJoin, b.target_center, b.target_horizon, b.v, b.w,
+                  on_path});
     }
     --barrier_pending_;  // center resolved
     return;
@@ -311,7 +310,7 @@ void ClusterProtocol::center_decide(sim::Mailbox& mb) {
   // DIE: command the group to stream its adjacency lists.
   list_mode_[v] = 1;
   for (const VertexId c : children_[v]) {
-    mb.send(c, std::vector<Word>{kTagDieCmd});
+    mb.send(c, {kTagDieCmd});
   }
   // The center's own entries are already deduplicated in seen_clusters_;
   // record them directly.
@@ -335,7 +334,7 @@ void ClusterProtocol::pump_list_queue(sim::Mailbox& mb) {
   if (list_done_sending_[v] || p1_[v] == graph::kInvalidVertex) return;
   if (abort_flag_[v]) {
     // Propagate the abort toward the center instead of more list traffic.
-    mb.send(p1_[v], std::vector<Word>{kTagAbortUp});
+    mb.send(p1_[v], {kTagAbortUp});
     list_done_sending_[v] = 1;
     return;
   }
@@ -352,11 +351,11 @@ void ClusterProtocol::pump_list_queue(sim::Mailbox& mb) {
     list_queue_[v].erase(list_queue_[v].begin(),
                          list_queue_[v].begin() +
                              static_cast<std::ptrdiff_t>(take));
-    mb.send(p1_[v], std::move(payload));
+    mb.send(p1_[v], payload);
     return;
   }
   if (list_wait_[v] == 0) {
-    mb.send(p1_[v], std::vector<Word>{kTagListEnd});
+    mb.send(p1_[v], {kTagListEnd});
     list_done_sending_[v] = 1;
   }
 }
@@ -369,7 +368,7 @@ void ClusterProtocol::center_try_finish(sim::Mailbox& mb) {
   const bool aborted = abort_flag_[v] != 0;
   if (aborted) ++stats_.aborts;
   for (const VertexId c : children_[v]) {
-    mb.send(c, std::vector<Word>{kTagFinish, aborted ? Word{1} : Word{0}});
+    mb.send(c, {kTagFinish, aborted ? Word{1} : Word{0}});
   }
   finish_member(mb, aborted);
   ++stats_.deaths;
@@ -403,7 +402,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
   bool fresh_cand = false;
   bool finish_seen = false;
   bool finish_aborted = false;
-  for (const sim::Message& m : mb.inbox()) {
+  for (const sim::MessageView& m : mb.inbox()) {
     if (m.payload.empty()) continue;
     switch (m.payload[0]) {
       case kTagCand: {
@@ -441,8 +440,8 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
         for (const VertexId c : children_[v]) {
           const Word child_on_path =
               (on_path && vstar != v && winner_child_[v] == c) ? 1 : 0;
-          mb.send(c, std::vector<Word>{kTagJoin, new_center, new_horizon,
-                                       vstar, wstar, child_on_path});
+          mb.send(c, {kTagJoin, new_center, new_horizon, vstar, wstar,
+                      child_on_path});
         }
         --barrier_pending_;
         return;  // resolved; nothing else matters this call
@@ -450,7 +449,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
       case kTagDieCmd: {
         list_mode_[v] = 1;
         for (const VertexId c : children_[v]) {
-          mb.send(c, std::vector<Word>{kTagDieCmd});
+          mb.send(c, {kTagDieCmd});
         }
         // Local entries already deduplicated into seen_clusters_; queue them.
         for (const ListEntry& e : local_entries_[v]) {
@@ -499,8 +498,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
 
   if (finish_seen) {
     for (const VertexId c : children_[v]) {
-      mb.send(c,
-              std::vector<Word>{kTagFinish, finish_aborted ? Word{1} : Word{0}});
+      mb.send(c, {kTagFinish, finish_aborted ? Word{1} : Word{0}});
     }
     finish_member(mb, finish_aborted);
     return;
@@ -531,10 +529,10 @@ void ClusterProtocol::handle_contract(sim::Mailbox& mb) {
     p1_[v] = p2_[v];
     children_[v].clear();
     if (p1_[v] != graph::kInvalidVertex) {
-      mb.send(p1_[v], std::vector<Word>{kTagParentPing});
+      mb.send(p1_[v], {kTagParentPing});
     }
   } else {
-    for (const sim::Message& m : mb.inbox()) {
+    for (const sim::MessageView& m : mb.inbox()) {
       if (!m.payload.empty() && m.payload[0] == kTagParentPing) {
         children_[v].push_back(m.from);
       }

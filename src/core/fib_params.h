@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/network.h"
 #include "util/fibonacci.h"
 #include "util/rng.h"
 
@@ -35,6 +36,10 @@ struct FibonacciParams {
   // protocol exactly at the analyzed threshold 4 (q_i/q_{i+1}) ln n).
   std::uint64_t message_cap_override = 0;
   std::uint64_t seed = 1;
+  // Network audit mode for the distributed construction; kFast skips the
+  // receiving-side re-verification but must produce an identical trace
+  // (pinned by the digest-equivalence tests).
+  sim::AuditMode audit = sim::AuditMode::kStrict;
 };
 
 struct FibonacciLevels {

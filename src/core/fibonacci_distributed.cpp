@@ -50,7 +50,7 @@ DistributedFibonacciResult build_fibonacci_distributed(
   level_dist[o + 1].assign(n, graph::kUnreachable);
   for (unsigned i = 1; i <= o; ++i) {
     const std::uint32_t radius = lv.radius(i - 1);
-    sim::Network net(g, 1);  // unit-length messages suffice for stage 1
+    sim::Network net(g, 1, params.audit);  // unit messages suffice for stage 1
     sim::TruncatedMinIdFlood flood(level_mask[i], radius);
     const sim::Metrics m = net.run(flood, radius + 4);
     result.network.merge(m);
@@ -74,7 +74,7 @@ DistributedFibonacciResult build_fibonacci_distributed(
   // --- Stage 2 per level: capped ball broadcast + path marking + repair.
   for (unsigned i = 1; i <= o; ++i) {
     const std::uint32_t radius = lv.radius(i);
-    sim::Network net(g, result.message_cap_words);
+    sim::Network net(g, result.message_cap_words, params.audit);
     sim::BallBroadcast bc(level_mask[i], radius);
     const sim::Metrics m = net.run(bc, radius + 4);
     result.network.merge(m);

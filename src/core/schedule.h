@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/network.h"
 #include "util/saturating.h"
 
 namespace ultra::core {
@@ -50,6 +51,10 @@ struct SkeletonParams {
   std::uint64_t D = 4;    // density knob; expected spanner size ~ Dn/e (D >= 4)
   double eps = 1.0;       // message-length exponent: cap = (log2 n)^eps words
   std::uint64_t seed = 1; // randomness seed
+  // Network audit mode for the distributed construction; kFast skips the
+  // receiving-side re-verification but must produce an identical trace
+  // (pinned by the digest-equivalence tests).
+  sim::AuditMode audit = sim::AuditMode::kStrict;
 };
 
 // Build the Theorem 2 schedule for an n-vertex graph. Throws

@@ -35,7 +35,7 @@ void TruncatedMinIdFlood::on_round(Mailbox& mb) {
   const auto now = static_cast<std::uint32_t>(mb.round());
 
   // Record who we heard from regardless of whether we are already settled.
-  for (const Message& msg : mb.inbox()) {
+  for (const MessageView& msg : mb.inbox()) {
     heard_[v][neighbor_pos(mb.topology(), v, msg.from)] = 1;
   }
 
@@ -43,7 +43,7 @@ void TruncatedMinIdFlood::on_round(Mailbox& mb) {
     // First arrivals: they all traveled exactly `now` hops, so the minimum
     // id among them is the min-id source at distance `now`.
     dist_[v] = now;
-    for (const Message& msg : mb.inbox()) {
+    for (const MessageView& msg : mb.inbox()) {
       if (msg.payload[0] < nearest_[v]) {
         nearest_[v] = static_cast<VertexId>(msg.payload[0]);
         parent_[v] = msg.from;

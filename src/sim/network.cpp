@@ -1,18 +1,12 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <numeric>
 #include <string>
 
 #include "check/check.h"
 
 namespace ultra::sim {
-
-namespace {
-// One (sender, receiver) key for per-round duplicate-send detection.
-constexpr std::uint64_t pair_key(VertexId from, VertexId to) noexcept {
-  return (static_cast<std::uint64_t>(from) << 32) | to;
-}
-}  // namespace
 
 std::uint64_t Mailbox::round() const noexcept { return net_.round(); }
 
@@ -24,58 +18,127 @@ std::span<const VertexId> Mailbox::neighbors() const {
   return net_.graph().neighbors(self_);
 }
 
-std::span<const Message> Mailbox::inbox() const {
-  return net_.inbox_[self_];
+std::span<const MessageView> Mailbox::inbox() const {
+  return {net_.in_msgs_.data() + net_.in_head_[self_],
+          net_.in_count_[self_]};
 }
 
 std::uint64_t Mailbox::message_cap() const noexcept {
   return net_.message_cap();
 }
 
-void Mailbox::send(VertexId to, std::vector<Word> payload) {
-  ULTRA_CHECK_ARG(net_.graph().has_edge(self_, to))
+// Rebuild the neighbor-index table for sender v: after this, "is w adjacent
+// to v" and "at which adjacency position" are O(1) lookups. Amortized O(1)
+// per send — the O(deg v) build happens at most once per activation and is
+// skipped entirely by send_all.
+void Network::index_neighbors_of(VertexId v) {
+  ++cur_epoch_;
+  const auto nbrs = graph_.neighbors(v);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    nbr_pos_[nbrs[i]] = static_cast<std::uint32_t>(i);
+    nbr_epoch_[nbrs[i]] = cur_epoch_;
+  }
+  indexed_sender_ = v;
+}
+
+std::uint64_t Network::append_payload(std::span<const Word> payload) {
+  const std::uint64_t off = arena_next_.size();
+  arena_next_.insert(arena_next_.end(), payload.begin(), payload.end());
+  return off;
+}
+
+void Network::push_send(VertexId from, VertexId to, std::uint64_t off,
+                        std::size_t len) {
+  metrics_.note_message(len);
+  if (pend_count_[to]++ == 0) receivers_next_.push_back(to);
+  pending_.push_back(
+      PendingSend{from, to, static_cast<std::uint32_t>(len), off});
+}
+
+// One message per neighbor per round: the directed arc's stamp must not
+// already carry this round's epoch.
+void Network::stamp_arc_or_reject(VertexId from, VertexId to,
+                                  std::uint64_t arc) {
+  ULTRA_CHECK_ARG(arc_stamp_[arc] != round_epoch_)
+      << "Mailbox::send: second message from " << from << " to " << to
+      << " in one round";
+  arc_stamp_[arc] = round_epoch_;
+}
+
+void Mailbox::send(VertexId to, std::span<const Word> payload) {
+  Network& net = net_;
+  if (net.indexed_sender_ != self_) net.index_neighbors_of(self_);
+  ULTRA_CHECK_ARG(to < net.nbr_epoch_.size() &&
+                  net.nbr_epoch_[to] == net.cur_epoch_)
       << "Mailbox::send: " << self_ << " -> " << to
       << " is not a network link";
-  if (payload.size() > net_.cap_) {
+  if (payload.size() > net.cap_) {
     throw MessageTooLong("message of " + std::to_string(payload.size()) +
-                         " words exceeds cap " + std::to_string(net_.cap_));
+                         " words exceeds cap " + std::to_string(net.cap_));
   }
-  ULTRA_CHECK_ARG(net_.sent_pairs_.insert(pair_key(self_, to)).second)
-      << "Mailbox::send: second message from " << self_ << " to " << to
-      << " in one round";
-  net_.metrics_.note_message(payload.size());
-  net_.outbox_next_[to].push_back(Message{self_, std::move(payload)});
+  net.stamp_arc_or_reject(self_, to,
+                          net.arc_base_[self_] + net.nbr_pos_[to]);
+  net.push_send(self_, to, net.append_payload(payload), payload.size());
 }
 
-void Mailbox::send_all(const std::vector<Word>& payload) {
-  for (const VertexId w : neighbors()) send(w, payload);
+void Mailbox::send_all(std::span<const Word> payload) {
+  Network& net = net_;
+  const auto nbrs = neighbors();
+  if (nbrs.empty()) return;
+  if (payload.size() > net.cap_) {
+    throw MessageTooLong("message of " + std::to_string(payload.size()) +
+                         " words exceeds cap " + std::to_string(net.cap_));
+  }
+  // The payload enters the arena once; every recipient's inbox entry views
+  // the same words. Neighbors come straight from the adjacency list, so no
+  // per-recipient link validation is needed, and the directed-arc ids are
+  // just consecutive slots of the sender's arc block.
+  const std::uint64_t off = net.append_payload(payload);
+  const std::uint64_t base = net.arc_base_[self_];
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    net.stamp_arc_or_reject(self_, nbrs[i], base + i);
+    net.push_send(self_, nbrs[i], off, payload.size());
+  }
 }
 
-void Mailbox::stay_awake() { net_.awake_next_[self_] = 1; }
+void Mailbox::stay_awake() {
+  if (!net_.awake_flag_[self_]) {
+    net_.awake_flag_[self_] = 1;
+    // Activations run in increasing id order, so this list stays sorted.
+    net_.awake_next_.push_back(self_);
+  }
+}
 
 Network::Network(const graph::Graph& g, std::uint64_t message_cap,
                  AuditMode audit)
     : graph_(g), cap_(message_cap), audit_(audit) {
   const VertexId n = g.num_vertices();
-  inbox_.resize(n);
-  outbox_next_.resize(n);
-  awake_.assign(n, 1);
-  awake_next_.assign(n, 0);
-}
-
-bool Network::has_pending_messages() const noexcept {
-  return std::any_of(inbox_.begin(), inbox_.end(),
-                     [](const auto& box) { return !box.empty(); });
+  in_head_.assign(n, 0);
+  in_count_.assign(n, 0);
+  pend_count_.assign(n, 0);
+  awake_flag_.assign(n, 0);
+  nbr_pos_.assign(n, 0);
+  nbr_epoch_.assign(n, 0);
+  cursor_.assign(n, 0);
+  arc_base_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    arc_base_[v + 1] = arc_base_[v] + g.degree(v);
+  }
+  arc_stamp_.assign(arc_base_[n], 0);
 }
 
 // Receiving-side re-verification, independent of the send-time checks: the
 // inbox of v must be strictly sorted by sender, every sender must be a real
 // neighbor, and every payload must respect the declared word cap. Catches
-// simulator bugs (mis-routed or duplicated deliveries) as well as protocol
-// code that somehow bypassed Mailbox::send.
+// simulator bugs (mis-routed, duplicated or mis-ordered deliveries — the
+// delivery scatter no longer sorts, so inbox order is an audited invariant
+// of activation order, not a post-processing step) as well as protocol code
+// that somehow bypassed Mailbox::send. Deliberately uses the graph's own
+// binary-search has_edge rather than the transport's arc tables.
 void Network::audit_inbox(VertexId v) const {
   VertexId prev = graph::kInvalidVertex;
-  for (const Message& m : inbox_[v]) {
+  for (std::uint32_t i = 0; i < in_count_[v]; ++i) {
+    const MessageView& m = in_msgs_[in_head_[v] + i];
     ULTRA_CHECK(prev == graph::kInvalidVertex || prev < m.from)
         << "inbox of " << v << " not strictly sorted by sender at round "
         << metrics_.rounds;
@@ -89,13 +152,43 @@ void Network::audit_inbox(VertexId v) const {
   }
 }
 
+// Barrier: move this round's queued sends into the delivered (inbox) state.
+// The payload arena is swapped (not copied); inboxes become CSR slices of
+// one flat MessageView array, built by a stable counting scatter over the
+// send log. Sends were recorded in activation order — increasing sender id —
+// so each receiver's slice comes out sorted by sender without any sort.
 void Network::deliver_outboxes() {
-  for (VertexId v = 0; v < num_nodes(); ++v) {
-    inbox_[v] = std::move(outbox_next_[v]);
-    outbox_next_[v].clear();
-    std::sort(inbox_[v].begin(), inbox_[v].end(),
-              [](const Message& a, const Message& b) { return a.from < b.from; });
-    for (const Message& m : inbox_[v]) {
+  for (const VertexId v : receivers_) in_count_[v] = 0;
+  receivers_.clear();
+
+  arena_.swap(arena_next_);
+  arena_next_.clear();
+
+  receivers_.swap(receivers_next_);
+  std::sort(receivers_.begin(), receivers_.end());
+
+  in_msgs_.resize(pending_.size());
+  std::uint64_t pos = 0;
+  for (const VertexId v : receivers_) {
+    in_head_[v] = pos;
+    in_count_[v] = pend_count_[v];
+    cursor_[v] = pos;
+    pos += pend_count_[v];
+    pend_count_[v] = 0;
+  }
+  for (const PendingSend& p : pending_) {
+    in_msgs_[cursor_[p.to]++] =
+        MessageView{p.from, {arena_.data() + p.off, p.len}};
+  }
+  delivered_last_round_ = pending_.size();
+  pending_.clear();
+
+  // Fold the delivered trace receiver-major (ascending receiver, ascending
+  // sender within a receiver) — the exact order the digest has always used.
+  for (const VertexId v : receivers_) {
+    const std::uint64_t head = in_head_[v];
+    for (std::uint32_t i = 0; i < in_count_[v]; ++i) {
+      const MessageView& m = in_msgs_[head + i];
       metrics_.fold(metrics_.rounds);
       metrics_.fold(m.from);
       metrics_.fold(v);
@@ -105,21 +198,39 @@ void Network::deliver_outboxes() {
   }
 }
 
+// Return the transport to its start-of-run state: empty inboxes and send
+// queues, every node scheduled for round 0 (the standard synchronous-start
+// assumption: everyone knows the protocol is starting).
+void Network::reset_transport() {
+  for (const VertexId v : receivers_) in_count_[v] = 0;
+  receivers_.clear();
+  in_msgs_.clear();
+  arena_.clear();
+  delivered_last_round_ = 0;
+
+  for (const VertexId v : receivers_next_) pend_count_[v] = 0;
+  receivers_next_.clear();
+  pending_.clear();
+  arena_next_.clear();
+
+  for (const VertexId v : awake_next_) awake_flag_[v] = 0;
+  awake_next_.clear();
+  active_.resize(num_nodes());
+  std::iota(active_.begin(), active_.end(), VertexId{0});
+
+  indexed_sender_ = graph::kInvalidVertex;
+}
+
 Metrics Network::run(Protocol& protocol, std::uint64_t max_rounds) {
   protocol.begin(*this);
-  // Everyone participates in round 0 (knows the protocol is starting —
-  // standard synchronous-start assumption).
-  std::fill(awake_.begin(), awake_.end(), 1);
-  for (auto& box : inbox_) box.clear();
+  reset_transport();
 
   while (!protocol.done(*this)) {
     ULTRA_CHECK_RUNTIME(metrics_.rounds < max_rounds)
         << "Network::run: protocol exceeded " << max_rounds << " rounds";
-    sent_pairs_.clear();
-    std::fill(awake_next_.begin(), awake_next_.end(), 0);
+    ++round_epoch_;  // invalidates all of last round's arc stamps at once
     VertexId last_activated = graph::kInvalidVertex;
-    for (VertexId v = 0; v < num_nodes(); ++v) {
-      if (!awake_[v] && inbox_[v].empty()) continue;
+    for (const VertexId v : active_) {
       if (audit_ == AuditMode::kStrict) {
         ULTRA_CHECK(last_activated == graph::kInvalidVertex ||
                     last_activated < v)
@@ -132,7 +243,15 @@ Metrics Network::run(Protocol& protocol, std::uint64_t max_rounds) {
       protocol.on_round(mb);
     }
     deliver_outboxes();
-    awake_.swap(awake_next_);
+
+    // Next round's worklist: nodes with mail plus explicit stay_awake()
+    // requests — a merge of two sorted id lists instead of an O(n) scan.
+    active_.clear();
+    std::set_union(receivers_.begin(), receivers_.end(), awake_next_.begin(),
+                   awake_next_.end(), std::back_inserter(active_));
+    for (const VertexId v : awake_next_) awake_flag_[v] = 0;
+    awake_next_.clear();
+
     ++metrics_.rounds;
   }
   return metrics_;

@@ -14,6 +14,15 @@
 // id order, inboxes are sorted by sender. All randomness lives in the
 // protocols' explicitly seeded Rngs, so any run is exactly reproducible.
 //
+// Transport layout (see DESIGN.md, "Simulator memory layout"): payloads live
+// in a per-round bump arena (two Word buffers swapped at delivery; a
+// broadcast stores its payload once), inboxes are CSR slices over one flat
+// MessageView array rebuilt per round by a stable counting scatter, the
+// round loop walks a sorted active-node worklist instead of scanning all n
+// nodes, and per-send discipline (real link, one message per neighbor per
+// round) is enforced through a per-sender neighbor-index table plus
+// per-directed-edge round stamps — no hashing, no per-message allocation.
+//
 // Strict audit mode (the default) double-checks the discipline from the
 // receiving side: at every delivery the network re-verifies — independently
 // of the send-time checks — that each message travelled along a real link,
@@ -26,9 +35,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <stdexcept>
-#include <unordered_set>
 #include <vector>
 
 #include "graph/graph.h"
@@ -41,10 +50,16 @@ using graph::VertexId;
 inline constexpr std::uint64_t kUnboundedMessages =
     static_cast<std::uint64_t>(-1);
 
-struct Message {
+// One delivered message as seen by the receiving node: the sender id and a
+// view of the payload words inside the network's delivery arena. Valid until
+// the end of the receiving round (the next delivery reuses the arena).
+struct MessageView {
   VertexId from = graph::kInvalidVertex;
-  std::vector<Word> payload;
+  std::span<const Word> payload;
 };
+
+// Historical name: protocol code reads `for (const Message& m : mb.inbox())`.
+using Message = MessageView;
 
 // Cost and compliance accounting for a protocol run.
 struct Metrics {
@@ -108,19 +123,35 @@ class Mailbox {
   [[nodiscard]] const graph::Graph& topology() const noexcept;
   [[nodiscard]] std::uint64_t round() const noexcept;
   [[nodiscard]] std::span<const VertexId> neighbors() const;
-  [[nodiscard]] std::span<const Message> inbox() const;
+  [[nodiscard]] std::span<const MessageView> inbox() const;
   [[nodiscard]] std::uint64_t message_cap() const noexcept;
 
   // Send `payload` to adjacent vertex `to`, delivered at the start of the
   // next round. A node may send at most one message per neighbor per round
-  // (enforced); length above the cap throws MessageTooLong.
-  void send(VertexId to, std::vector<Word> payload);
+  // (enforced); length above the cap throws MessageTooLong. The payload is
+  // copied into the round arena inside the call, so any backing storage
+  // (including a temporary vector or braced list) only needs to live for the
+  // duration of the call.
+  void send(VertexId to, std::span<const Word> payload);
+
+  void send(VertexId to, std::initializer_list<Word> payload) {
+    send(to, std::span<const Word>{payload.begin(), payload.size()});
+  }
 
   // Convenience for single-word messages.
-  void send(VertexId to, Word w) { send(to, std::vector<Word>{w}); }
+  void send(VertexId to, Word w) {
+    send(to, std::span<const Word>{&w, 1});
+  }
 
-  // Broadcast the same payload to every neighbor.
-  void send_all(const std::vector<Word>& payload);
+  // Broadcast the same payload to every neighbor. The payload is stored in
+  // the arena once, no matter the degree; every neighbor is a known-valid
+  // link so per-recipient link validation is skipped (the per-round one-
+  // message-per-neighbor discipline is still enforced).
+  void send_all(std::span<const Word> payload);
+
+  void send_all(std::initializer_list<Word> payload) {
+    send_all(std::span<const Word>{payload.begin(), payload.size()});
+  }
 
   // Keep this node scheduled next round even if it receives no message.
   // (Nodes are always activated in rounds where they have mail.)
@@ -170,7 +201,10 @@ class Network {
   // round; lets quiescence-based protocols detect global termination in
   // done() (an omniscient-observer convenience — real networks would use a
   // termination-detection subprotocol, whose cost the paper does not charge).
-  [[nodiscard]] bool has_pending_messages() const noexcept;
+  // O(1): the count of messages delivered at the last barrier.
+  [[nodiscard]] bool has_pending_messages() const noexcept {
+    return delivered_last_round_ != 0;
+  }
 
   // Run `protocol` until done() or `max_rounds` elapse. Returns the metrics.
   // Throws std::runtime_error if max_rounds is hit before done() — protocols
@@ -185,19 +219,66 @@ class Network {
  private:
   friend class Mailbox;
 
+  // One queued (not yet delivered) message: payload is arena_next_[off,
+  // off+len). Broadcast entries share one offset.
+  struct PendingSend {
+    VertexId from;
+    VertexId to;
+    std::uint32_t len;
+    std::uint64_t off;
+  };
+
+  void reset_transport();
   void deliver_outboxes();
   void audit_inbox(VertexId v) const;
+  void stamp_arc_or_reject(VertexId from, VertexId to, std::uint64_t arc);
+  void push_send(VertexId from, VertexId to, std::uint64_t off,
+                 std::size_t len);
+  [[nodiscard]] std::uint64_t append_payload(std::span<const Word> payload);
+  void index_neighbors_of(VertexId v);
 
   const graph::Graph& graph_;
   std::uint64_t cap_;
   AuditMode audit_;
   Metrics metrics_;
 
-  std::vector<std::vector<Message>> inbox_;       // per node, sorted by from
-  std::vector<std::vector<Message>> outbox_next_; // accumulating sends
-  std::unordered_set<std::uint64_t> sent_pairs_;  // per-round send dedup
-  std::vector<std::uint8_t> awake_;               // nodes to activate next round
-  std::vector<std::uint8_t> awake_next_;
+  // --- delivered state (what inbox() views) -------------------------------
+  std::vector<Word> arena_;             // payload words of the current inboxes
+  std::vector<MessageView> in_msgs_;    // flat, receiver-major, sender-sorted
+  std::vector<std::uint64_t> in_head_;  // per node: first slot in in_msgs_
+  std::vector<std::uint32_t> in_count_; // per node: inbox length
+  std::vector<VertexId> receivers_;     // nodes with in_count_ > 0, sorted
+  std::vector<std::uint64_t> cursor_;   // scatter cursors, per receiver
+  std::uint64_t delivered_last_round_ = 0;
+
+  // --- accumulating state (sends of the running round) --------------------
+  std::vector<Word> arena_next_;
+  std::vector<PendingSend> pending_;
+  std::vector<std::uint32_t> pend_count_;  // per receiver, this round
+  std::vector<VertexId> receivers_next_;   // receivers with pend_count_ > 0
+
+  // --- activation worklist ------------------------------------------------
+  std::vector<VertexId> active_;       // sorted ids to activate this round
+  std::vector<VertexId> awake_next_;   // stay_awake() calls, sorted, deduped
+  std::vector<std::uint8_t> awake_flag_;
+
+  // --- send discipline ----------------------------------------------------
+  // Neighbor-index table for the sender currently being activated: built
+  // lazily on its first point-send of a round, it answers "is `to` adjacent
+  // to the sender, and at which adjacency position" in O(1). nbr_epoch_[w]
+  // holds the epoch at which w was last marked; marks are valid while
+  // indexed_sender_ still owns the epoch.
+  std::vector<std::uint32_t> nbr_pos_;
+  std::vector<std::uint64_t> nbr_epoch_;
+  std::uint64_t cur_epoch_ = 0;
+  VertexId indexed_sender_ = graph::kInvalidVertex;
+
+  // arc_base_[v] + i is the directed-arc id of (v -> neighbors(v)[i]);
+  // arc_stamp_ records the last round epoch in which that arc carried a
+  // message (one message per neighbor per round).
+  std::vector<std::uint64_t> arc_base_;
+  std::vector<std::uint64_t> arc_stamp_;
+  std::uint64_t round_epoch_ = 0;
 };
 
 }  // namespace ultra::sim

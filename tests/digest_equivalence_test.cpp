@@ -1,0 +1,211 @@
+// Trace-digest equivalence across audit modes, plus golden-digest pins.
+//
+// The flat-buffer transport rewrite (arena payloads, CSR inboxes, worklist
+// activation, arc-stamp dedup) is only allowed to change *speed*: the strict
+// auditor is an observer, so kStrict and kFast must produce byte-identical
+// communication traces, and both must reproduce the exact digests the
+// pre-rewrite vector-of-vectors transport produced. The golden constants
+// below were captured from that original implementation; if any of them
+// moves, the simulator's delivery semantics changed — round numbering,
+// inbox order, payload words or message accounting — and every determinism
+// guarantee in network.h is suspect.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/baswana_sen_distributed.h"
+#include "core/fibonacci_distributed.h"
+#include "core/skeleton_distributed.h"
+#include "graph/generators.h"
+#include "sim/flood.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace ultra {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using sim::AuditMode;
+
+struct Trace {
+  std::uint64_t digest = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_words = 0;
+
+  explicit Trace(const sim::Metrics& m)
+      : digest(m.trace_digest),
+        rounds(m.rounds),
+        messages(m.messages),
+        total_words(m.total_words) {}
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+#define EXPECT_TRACE_EQ(a, b)              \
+  do {                                     \
+    EXPECT_EQ((a).digest, (b).digest);     \
+    EXPECT_EQ((a).rounds, (b).rounds);     \
+    EXPECT_EQ((a).messages, (b).messages); \
+    EXPECT_EQ((a).total_words, (b).total_words); \
+  } while (0)
+
+TEST(DigestEquivalence, BfsFloodStrictEqualsFast) {
+  for (std::uint64_t seed : {31, 77, 1234}) {
+    util::Rng rng(seed);
+    const Graph g = graph::connected_gnm(150, 420, rng);
+    auto run = [&](AuditMode mode) {
+      sim::Network net(g, 1, mode);
+      sim::BfsFlood flood(3);
+      return Trace(net.run(flood, 1000));
+    };
+    EXPECT_TRACE_EQ(run(AuditMode::kStrict), run(AuditMode::kFast));
+  }
+}
+
+TEST(DigestEquivalence, TruncatedMinIdFloodStrictEqualsFast) {
+  for (std::uint64_t seed : {33, 55, 99}) {
+    util::Rng rng(seed);
+    const Graph g = graph::connected_gnm(150, 400, rng);
+    std::vector<std::uint8_t> is_source(g.num_vertices(), 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (rng.bernoulli(0.05)) is_source[v] = 1;
+    }
+    auto run = [&](AuditMode mode) {
+      sim::Network net(g, 1, mode);
+      sim::TruncatedMinIdFlood flood(is_source, 3);
+      return Trace(net.run(flood, 10));
+    };
+    EXPECT_TRACE_EQ(run(AuditMode::kStrict), run(AuditMode::kFast));
+  }
+}
+
+TEST(DigestEquivalence, ExpandProtocolStrictEqualsFast) {
+  // Distributed Baswana–Sen is the ClusterProtocol (the Expand machinery)
+  // with a single-round schedule — the cheapest full exercise of the
+  // status / gather / resolve / contraction message paths.
+  for (std::uint64_t seed : {5, 6}) {
+    util::Rng rng(21);
+    const Graph g = graph::connected_gnm(160, 450, rng);
+    auto run = [&](AuditMode mode) {
+      return Trace(
+          baselines::baswana_sen_distributed(g, 3, seed, 8, mode).network);
+    };
+    EXPECT_TRACE_EQ(run(AuditMode::kStrict), run(AuditMode::kFast));
+  }
+}
+
+TEST(DigestEquivalence, DistributedSkeletonStrictEqualsFast) {
+  util::Rng rng(41);
+  const Graph g = graph::connected_gnm(250, 700, rng);
+  for (std::uint64_t seed : {9, 10}) {
+    auto run = [&](AuditMode mode) {
+      return Trace(core::build_skeleton_distributed(
+                       g, {.D = 4, .eps = 1.0, .seed = seed, .audit = mode})
+                       .network);
+    };
+    EXPECT_TRACE_EQ(run(AuditMode::kStrict), run(AuditMode::kFast));
+  }
+}
+
+TEST(DigestEquivalence, DistributedFibonacciStrictEqualsFast) {
+  util::Rng rng(43);
+  const Graph g = graph::connected_gnm(200, 520, rng);
+  for (std::uint64_t seed : {7, 8}) {
+    core::FibonacciParams params;
+    params.order = 2;
+    params.eps = 1.0;
+    params.message_t = 3.0;
+    params.seed = seed;
+    auto run = [&](AuditMode mode) {
+      params.audit = mode;
+      return Trace(core::build_fibonacci_distributed(g, params).network);
+    };
+    EXPECT_TRACE_EQ(run(AuditMode::kStrict), run(AuditMode::kFast));
+  }
+}
+
+// --- Golden digests, captured from the pre-rewrite transport -------------
+
+struct Golden {
+  std::uint64_t digest, rounds, messages, total_words;
+};
+
+TEST(GoldenDigest, DistributedSkeletonMatchesPreRewriteTransport) {
+  util::Rng rng(41);
+  const Graph g = graph::connected_gnm(250, 700, rng);
+  const Golden want[] = {{9920093477882535019ull, 46, 8565, 26049},
+                         {533071475084392225ull, 61, 9523, 28759}};
+  const std::uint64_t seeds[] = {9, 10};
+  for (int i = 0; i < 2; ++i) {
+    const auto r = core::build_skeleton_distributed(
+        g, {.D = 4, .eps = 1.0, .seed = seeds[i]});
+    EXPECT_EQ(r.network.trace_digest, want[i].digest) << "seed " << seeds[i];
+    EXPECT_EQ(r.network.rounds, want[i].rounds);
+    EXPECT_EQ(r.network.messages, want[i].messages);
+    EXPECT_EQ(r.network.total_words, want[i].total_words);
+  }
+}
+
+TEST(GoldenDigest, DistributedFibonacciMatchesPreRewriteTransport) {
+  util::Rng rng(43);
+  const Graph g = graph::connected_gnm(200, 520, rng);
+  const Golden want[] = {{6356776267301215081ull, 283695, 6243, 13365},
+                         {5328015492174695108ull, 1676, 7902, 11723}};
+  const std::uint64_t seeds[] = {7, 8};
+  for (int i = 0; i < 2; ++i) {
+    core::FibonacciParams params;
+    params.order = 2;
+    params.eps = 1.0;
+    params.message_t = 3.0;
+    params.seed = seeds[i];
+    const auto r = core::build_fibonacci_distributed(g, params);
+    EXPECT_EQ(r.network.trace_digest, want[i].digest) << "seed " << seeds[i];
+    EXPECT_EQ(r.network.rounds, want[i].rounds);
+    EXPECT_EQ(r.network.messages, want[i].messages);
+    EXPECT_EQ(r.network.total_words, want[i].total_words);
+  }
+}
+
+TEST(GoldenDigest, BfsFloodMatchesPreRewriteTransport) {
+  const Golden want[] = {{9123858175633504614ull, 6, 703, 703},
+                         {15268099023596930062ull, 6, 715, 715}};
+  const std::uint64_t seeds[] = {31, 32};
+  for (int i = 0; i < 2; ++i) {
+    util::Rng rng(seeds[i]);
+    const Graph g = graph::connected_gnm(120, 300, rng);
+    sim::Network net(g, 1);
+    sim::BfsFlood flood(7);
+    const auto m = net.run(flood, 1000);
+    EXPECT_EQ(m.trace_digest, want[i].digest) << "seed " << seeds[i];
+    EXPECT_EQ(m.rounds, want[i].rounds);
+    EXPECT_EQ(m.messages, want[i].messages);
+    EXPECT_EQ(m.total_words, want[i].total_words);
+  }
+}
+
+TEST(GoldenDigest, TruncatedMinIdFloodMatchesPreRewriteTransport) {
+  const Golden want[] = {{5946328646144447975ull, 4, 619, 619},
+                         {4898565372255727991ull, 4, 747, 747}};
+  const std::uint64_t seeds[] = {33, 34};
+  for (int i = 0; i < 2; ++i) {
+    util::Rng rng(seeds[i]);
+    const Graph g = graph::connected_gnm(150, 400, rng);
+    std::vector<std::uint8_t> is_source(g.num_vertices(), 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (rng.bernoulli(0.05)) is_source[v] = 1;
+    }
+    sim::Network net(g, 1);
+    sim::TruncatedMinIdFlood flood(is_source, 3);
+    const auto m = net.run(flood, 10);
+    EXPECT_EQ(m.trace_digest, want[i].digest) << "seed " << seeds[i];
+    EXPECT_EQ(m.rounds, want[i].rounds);
+    EXPECT_EQ(m.messages, want[i].messages);
+    EXPECT_EQ(m.total_words, want[i].total_words);
+  }
+}
+
+}  // namespace
+}  // namespace ultra

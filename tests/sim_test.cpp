@@ -23,7 +23,7 @@ class PingProtocol : public Protocol {
     if (mb.round() == 0) {
       mb.send_all({Word{mb.self()}});
     }
-    for (const Message& m : mb.inbox()) {
+    for (const MessageView& m : mb.inbox()) {
       received_[mb.self()].push_back(m.from);
     }
   }

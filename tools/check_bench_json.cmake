@@ -1,0 +1,58 @@
+# bench-smoke: run `micro_core --json` on a tiny workload and validate the
+# emitted record against the ultra.bench_sim.v1 schema (presence of every
+# required key plus basic sanity of the numeric fields). Invoked by ctest:
+#   cmake -DBENCH_BIN=<path-to-micro_core> -P tools/check_bench_json.cmake
+if(NOT DEFINED BENCH_BIN)
+  message(FATAL_ERROR "bench-smoke: pass -DBENCH_BIN=<path to micro_core>")
+endif()
+
+execute_process(
+  COMMAND ${BENCH_BIN} --json --n 200 --m 600 --repeats 1
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+  TIMEOUT 120)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench-smoke: micro_core --json exited with ${rc}\nstderr: ${err}")
+endif()
+
+string(STRIP "${out}" record)
+message(STATUS "bench-smoke record: ${record}")
+
+# CMake >= 3.19 ships a JSON parser; use it so malformed output (not just a
+# missing key) fails the test too.
+string(JSON schema ERROR_VARIABLE jerr GET "${record}" schema)
+if(jerr)
+  message(FATAL_ERROR "bench-smoke: output is not valid JSON: ${jerr}")
+endif()
+if(NOT schema STREQUAL "ultra.bench_sim.v1")
+  message(FATAL_ERROR "bench-smoke: unexpected schema '${schema}'")
+endif()
+
+foreach(key bench workload protocol audit message_cap repeats rounds messages
+            total_words trace_digest wall_seconds rounds_per_second
+            messages_per_second peak_rss_bytes)
+  string(JSON val ERROR_VARIABLE jerr GET "${record}" ${key})
+  if(jerr)
+    message(FATAL_ERROR "bench-smoke: missing required key '${key}': ${jerr}")
+  endif()
+endforeach()
+
+foreach(key n m seed)
+  string(JSON val ERROR_VARIABLE jerr GET "${record}" workload ${key})
+  if(jerr)
+    message(FATAL_ERROR
+      "bench-smoke: missing required workload key '${key}': ${jerr}")
+  endif()
+endforeach()
+
+string(JSON rounds GET "${record}" rounds)
+string(JSON messages GET "${record}" messages)
+if(rounds EQUAL 0 OR messages EQUAL 0)
+  message(FATAL_ERROR
+    "bench-smoke: degenerate record (rounds=${rounds}, messages=${messages})")
+endif()
+
+message(STATUS "bench-smoke: OK (rounds=${rounds}, messages=${messages})")

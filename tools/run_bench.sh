@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_sim.json: build the release preset and run the simulator
+# transport workload (micro_core --json) at three sizes. Each record follows
+# the ultra.bench_sim.v1 schema (see bench/common.h); the output file is a
+# JSON array ordered small -> large so trend tooling can diff across PRs.
+#
+# Usage: tools/run_bench.sh [output-path]   (default: BENCH_sim.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_sim.json}"
+
+cmake --preset release >/dev/null
+cmake --build --preset release --target micro_core -- -j"$(nproc)" >/dev/null
+
+BIN=build-release/bench/micro_core
+[ -x "$BIN" ] || { echo "run_bench.sh: $BIN not built" >&2; exit 1; }
+
+{
+  echo "["
+  "$BIN" --json --n 10000   --m 100000   --seed 1 --repeats 10 | sed 's/$/,/'
+  "$BIN" --json --n 100000  --m 1000000  --seed 1 --repeats 3  | sed 's/$/,/'
+  "$BIN" --json --n 1000000 --m 10000000 --seed 1 --repeats 1
+  echo "]"
+} > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
