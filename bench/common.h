@@ -125,6 +125,8 @@ struct SimTransportOptions {
   int repeats = 3;
   std::string protocol = "bfs_flood";  // or "ping_all"
   sim::AuditMode audit = sim::AuditMode::kStrict;
+  sim::ExecutionMode exec = sim::ExecutionMode::kSequential;
+  unsigned threads = 0;  // kParallel worker count; 0 = hardware concurrency
   std::uint64_t ping_rounds = 8;
 };
 
@@ -136,8 +138,10 @@ inline std::string sim_transport_json(const SimTransportOptions& opt) {
   sim::Metrics total{};
   std::uint64_t digest = 0;
   const WallClock clock;
+  unsigned resolved_threads = 1;
   for (int r = 0; r < opt.repeats; ++r) {
-    sim::Network net(g, opt.cap, opt.audit);
+    sim::Network net(g, opt.cap, opt.audit, opt.exec, opt.threads);
+    resolved_threads = net.worker_threads();
     sim::Metrics met;
     if (opt.protocol == "ping_all") {
       PingAllProtocol p(opt.ping_rounds);
@@ -166,6 +170,11 @@ inline std::string sim_transport_json(const SimTransportOptions& opt) {
       .field("audit", std::string(opt.audit == sim::AuditMode::kStrict
                                       ? "strict"
                                       : "fast"))
+      .field("execution",
+             std::string(opt.exec == sim::ExecutionMode::kParallel
+                             ? "parallel"
+                             : "sequential"))
+      .field("threads", std::uint64_t{resolved_threads})
       .field("message_cap", opt.cap)
       .field("repeats", std::uint64_t(opt.repeats))
       .field("rounds", total.rounds)
@@ -180,8 +189,9 @@ inline std::string sim_transport_json(const SimTransportOptions& opt) {
 }
 
 // `argv`-style driver for the --json mode of micro_core: parses
-// --n/--m/--seed/--cap/--repeats/--protocol/--audit overrides and prints one
-// JSON record to stdout. Returns a process exit code.
+// --n/--m/--seed/--cap/--repeats/--protocol/--audit/--exec/--threads
+// overrides and prints one JSON record to stdout. Returns a process exit
+// code.
 inline int run_sim_transport_json(int argc, char** argv) {
   SimTransportOptions opt;
   auto next_u64 = [&](int& i) -> std::uint64_t {
@@ -207,6 +217,12 @@ inline int run_sim_transport_json(int argc, char** argv) {
     } else if (arg == "--audit" && i + 1 < argc) {
       opt.audit = std::string(argv[++i]) == "fast" ? sim::AuditMode::kFast
                                                    : sim::AuditMode::kStrict;
+    } else if (arg == "--exec" && i + 1 < argc) {
+      opt.exec = std::string(argv[++i]) == "parallel"
+                     ? sim::ExecutionMode::kParallel
+                     : sim::ExecutionMode::kSequential;
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<unsigned>(next_u64(i));
     } else {
       std::cerr << "unknown --json option: " << arg << "\n";
       return 2;

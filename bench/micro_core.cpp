@@ -6,9 +6,10 @@
 // inner loops.
 //
 // `micro_core --json [--n N --m M --repeats R --protocol bfs_flood|ping_all
-// --audit strict|fast --cap C]` instead runs the simulator-transport
-// workload once and prints one BENCH JSON record (see bench/common.h);
-// tools/run_bench.sh drives this mode to maintain BENCH_sim.json.
+// --audit strict|fast --exec sequential|parallel --threads T --cap C]`
+// instead runs the simulator-transport workload once and prints one BENCH
+// JSON record (see bench/common.h); tools/run_bench.sh drives this mode —
+// per execution mode and thread count — to maintain BENCH_sim.json.
 
 #include <benchmark/benchmark.h>
 
@@ -128,6 +129,29 @@ void BM_NetworkBfsFlood(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
 }
 BENCHMARK(BM_NetworkBfsFlood)->Arg(10000)->Arg(100000);
+
+// The same flood under the parallel round executor, across worker counts —
+// the scaling curve of the sharded worklist (trace-identical to the
+// sequential run by construction; see parallel_equivalence_test).
+void BM_NetworkBfsFloodParallel(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    sim::Network net(g, 1, sim::AuditMode::kStrict,
+                     sim::ExecutionMode::kParallel, threads);
+    sim::BfsFlood flood(0);
+    const auto m = net.run(flood, 100000);
+    rounds += m.rounds;
+    benchmark::DoNotOptimize(m.trace_digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_NetworkBfsFloodParallel)
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({100000, 2})
+    ->Args({100000, 4});
 
 // Densest legal load: every node broadcasts every round (2m messages/round).
 void BM_NetworkPingAll(benchmark::State& state) {

@@ -9,7 +9,8 @@ namespace ultra::baselines {
 
 DistributedBaswanaSenResult baswana_sen_distributed(
     const graph::Graph& g, unsigned k, std::uint64_t seed,
-    std::uint64_t message_cap_words, sim::AuditMode audit) {
+    std::uint64_t message_cap_words, sim::AuditMode audit,
+    sim::ExecutionMode exec, unsigned exec_threads) {
   ULTRA_CHECK_ARG(k >= 1) << "baswana_sen_distributed: k must be >= 1";
   DistributedBaswanaSenResult result{spanner::Spanner(g), {}, {}, 0};
   result.message_cap_words = std::max<std::uint64_t>(8, message_cap_words);
@@ -25,7 +26,7 @@ DistributedBaswanaSenResult baswana_sen_distributed(
   schedule.total_expand_calls = static_cast<std::uint32_t>(round.probs.size());
   schedule.rounds.push_back(std::move(round));
 
-  sim::Network net(g, result.message_cap_words, audit);
+  sim::Network net(g, result.message_cap_words, audit, exec, exec_threads);
   core::ClusterProtocol protocol(g, schedule, seed, &result.spanner);
   const std::uint64_t budget =
       (static_cast<std::uint64_t>(k) + 2) *

@@ -25,6 +25,8 @@ struct DistributedBaswanaSenResult {
 [[nodiscard]] DistributedBaswanaSenResult baswana_sen_distributed(
     const graph::Graph& g, unsigned k, std::uint64_t seed,
     std::uint64_t message_cap_words = 8,
-    sim::AuditMode audit = sim::AuditMode::kStrict);
+    sim::AuditMode audit = sim::AuditMode::kStrict,
+    sim::ExecutionMode exec = sim::ExecutionMode::kSequential,
+    unsigned exec_threads = 0);
 
 }  // namespace ultra::baselines

@@ -1,14 +1,14 @@
 #include "core/ball_broadcast.h"
 
 #include <algorithm>
+#include <tuple>
 
 namespace ultra::sim {
 
 void BallBroadcast::begin(Network& net) {
   const VertexId n = net.num_nodes();
   known_.assign(n, {});
-  has_ceased_.assign(n, 0);
-  ceased_.clear();
+  cease_step_.assign(n, kNotCeased);
   for (VertexId v = 0; v < n && v < is_source_.size(); ++v) {
     if (is_source_[v]) {
       known_[v].emplace(v, KnownSource{0, graph::kInvalidVertex});
@@ -38,7 +38,7 @@ void BallBroadcast::on_round(Mailbox& mb) {
     }
   }
 
-  if (has_ceased_[v] || fresh.empty() || now >= radius_) return;
+  if (cease_step_[v] != kNotCeased || fresh.empty() || now >= radius_) return;
 
   // Relay the fresh ids to each neighbor, excluding ids learned from that
   // neighbor. If any single message would exceed the cap, cease instead.
@@ -52,8 +52,7 @@ void BallBroadcast::on_round(Mailbox& mb) {
       per_neighbor[i].push_back(y);
     }
     if (per_neighbor[i].size() > cap) {
-      has_ceased_[v] = 1;
-      ceased_.emplace_back(v, now);
+      cease_step_[v] = now;
       return;  // cease: relay nothing, now or ever
     }
   }
@@ -66,6 +65,19 @@ void BallBroadcast::on_round(Mailbox& mb) {
 
 bool BallBroadcast::done(const Network& net) const {
   return net.round() > radius_;
+}
+
+std::vector<std::pair<VertexId, std::uint32_t>> BallBroadcast::ceased() const {
+  std::vector<std::pair<VertexId, std::uint32_t>> out;
+  for (VertexId v = 0; v < cease_step_.size(); ++v) {
+    if (cease_step_[v] != kNotCeased) out.emplace_back(v, cease_step_[v]);
+  }
+  // Chronological, then by id — the order sequential execution appended in
+  // (ascending id within a round, rounds in order).
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.second, a.first) < std::tie(b.second, b.first);
+  });
+  return out;
 }
 
 }  // namespace ultra::sim

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/network.h"
@@ -43,19 +44,22 @@ class BallBroadcast : public Protocol {
     return known_;
   }
 
-  // Nodes that ceased, with the step after which they stopped relaying.
-  [[nodiscard]] const std::vector<std::pair<VertexId, std::uint32_t>>&
-  ceased() const noexcept {
-    return ceased_;
-  }
+  // Nodes that ceased, with the step after which they stopped relaying, in
+  // chronological (step, id) order. Built on demand from the per-node cease
+  // record — cessation is marked in per-node state so that on_round stays
+  // safe under ExecutionMode::kParallel, and the sort reproduces exactly the
+  // order sequential execution would have appended in.
+  [[nodiscard]] std::vector<std::pair<VertexId, std::uint32_t>> ceased() const;
 
  private:
+  static constexpr std::uint32_t kNotCeased =
+      static_cast<std::uint32_t>(-1);
+
   std::vector<std::uint8_t> is_source_;
   std::uint32_t radius_;
 
   std::vector<std::unordered_map<VertexId, KnownSource>> known_;
-  std::vector<std::uint8_t> has_ceased_;
-  std::vector<std::pair<VertexId, std::uint32_t>> ceased_;
+  std::vector<std::uint32_t> cease_step_;  // kNotCeased if still relaying
 };
 
 }  // namespace ultra::sim

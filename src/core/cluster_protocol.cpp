@@ -1,7 +1,9 @@
 #include "core/cluster_protocol.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "util/rng.h"
 
@@ -9,6 +11,18 @@ namespace ultra::core {
 
 using graph::VertexId;
 using sim::Word;
+
+namespace {
+
+// Event counters bumped from node context run concurrently under
+// ExecutionMode::kParallel; additions commute, so relaxed atomics keep the
+// totals exact without making the whole stats struct atomic.
+void bump(std::uint64_t& counter) {
+  std::atomic_ref<std::uint64_t>(counter).fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 ClusterProtocol::ClusterProtocol(const graph::Graph& g,
                                  SkeletonSchedule schedule, std::uint64_t seed,
@@ -69,7 +83,6 @@ void ClusterProtocol::begin(sim::Network& net) {
                             : std::max<std::uint64_t>(1, (cap - 1) / 3);
 
   round_index_ = 0;
-  last_round_seen_ = ~0ull;
   start_schedule_round();
 }
 
@@ -179,11 +192,14 @@ void ClusterProtocol::advance_controller() {
   }
 }
 
+// The network calls this on the simulator thread once per round that
+// activates anyone — the same rounds in which the old lazy trigger ("first
+// activated node advances the controller") used to fire, so the phase
+// machine steps at identical times, and no node-context code ever mutates
+// controller state.
+void ClusterProtocol::on_round_begin(sim::Network&) { advance_controller(); }
+
 void ClusterProtocol::on_round(sim::Mailbox& mb) {
-  if (mb.round() != last_round_seen_) {
-    last_round_seen_ = mb.round();
-    advance_controller();
-  }
   const VertexId v = mb.self();
   if (!alive_[v]) return;  // dead vertices ignore everything
   mb.stay_awake();         // keep the controller ticking
@@ -294,8 +310,11 @@ void ClusterProtocol::center_decide(sim::Mailbox& mb) {
   if (best_[v].has) {
     // JOIN: select the winning edge, reroute p2 along the winning path.
     const Candidate& b = best_[v];
-    out_->add_edge(b.v, b.w);
-    ++stats_.joins;
+    {
+      const std::lock_guard<std::mutex> lock(out_mu_);
+      out_->add_edge(b.v, b.w);
+    }
+    bump(stats_.joins);
     ccenter_[v] = b.target_center;
     horizon_[v] = b.target_horizon;
     p2_[v] = (b.v == v) ? b.w : winner_child_[v];
@@ -314,8 +333,11 @@ void ClusterProtocol::center_decide(sim::Mailbox& mb) {
   }
   // The center's own entries are already deduplicated in seen_clusters_;
   // record them directly.
-  for (const ListEntry& e : local_entries_[v]) {
-    out_->add_edge(e.v, e.w);
+  {
+    const std::lock_guard<std::mutex> lock(out_mu_);
+    for (const ListEntry& e : local_entries_[v]) {
+      out_->add_edge(e.v, e.w);
+    }
   }
   local_entries_[v].clear();
   if (seen_clusters_[v].size() > abort_threshold_) abort_flag_[v] = 1;
@@ -366,17 +388,18 @@ void ClusterProtocol::center_try_finish(sim::Mailbox& mb) {
   if (!abort_flag_[v] && list_wait_[v] > 0) return;
   // Either every child's list drained or an abort short-circuits the wait.
   const bool aborted = abort_flag_[v] != 0;
-  if (aborted) ++stats_.aborts;
+  if (aborted) bump(stats_.aborts);
   for (const VertexId c : children_[v]) {
     mb.send(c, {kTagFinish, aborted ? Word{1} : Word{0}});
   }
   finish_member(mb, aborted);
-  ++stats_.deaths;
+  bump(stats_.deaths);
 }
 
 void ClusterProtocol::finish_member(sim::Mailbox& mb, bool aborted) {
   const VertexId v = mb.self();
   if (aborted) {
+    const std::lock_guard<std::mutex> lock(out_mu_);
     for (const VertexId w : graph_.neighbors(v)) out_->add_edge(v, w);
   }
   alive_[v] = 0;
@@ -467,6 +490,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
           if (vcenter_[v] == v) {
             // The center consumes entries directly.
             if (seen_clusters_[v].insert(e.cluster).second) {
+              const std::lock_guard<std::mutex> lock(out_mu_);
               out_->add_edge(e.v, e.w);
             }
           } else {

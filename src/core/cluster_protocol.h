@@ -35,7 +35,9 @@
 // round of parent pings to rebuild the tree children lists.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -67,6 +69,7 @@ class ClusterProtocol : public sim::Protocol {
                   double abort_threshold_factor = 4.0);
 
   void begin(sim::Network& net) override;
+  void on_round_begin(sim::Network& net) override;
   void on_round(sim::Mailbox& mb) override;
   [[nodiscard]] bool done(const sim::Network& net) const override;
 
@@ -150,16 +153,20 @@ class ClusterProtocol : public sim::Protocol {
   std::vector<std::vector<std::uint32_t>> first_unsampled_;
   double abort_threshold_ = 0;  // per current round
 
-  // --- controller state
+  // --- controller state (mutated only in on_round_begin, which the network
+  // runs on the simulator thread in both execution modes)
   Phase phase_ = Phase::kRoundStart;
-  std::uint64_t last_round_seen_ = ~0ull;
   std::size_t round_index_ = 0;   // index into schedule_.rounds
   std::uint32_t call_index_ = 0;  // j within the round
-  std::uint64_t barrier_pending_ = 0;  // phase-specific completion counter
-  std::uint64_t phase_rounds_ = 0;     // rounds spent in current phase
+  // Phase-specific completion counter, decremented from node context — under
+  // ExecutionMode::kParallel concurrently by several workers, hence atomic.
+  // The controller only reads it at round boundaries, after the pool barrier.
+  std::atomic<std::uint64_t> barrier_pending_{0};
+  std::uint64_t phase_rounds_ = 0;  // rounds spent in current phase
 
   // --- per-vertex protocol state
-  std::uint64_t alive_total_ = 0;
+  std::atomic<std::uint64_t> alive_total_{0};  // decremented from node context
+  std::mutex out_mu_;  // serializes out_->add_edge under kParallel
   std::vector<std::uint8_t> alive_;
   std::vector<graph::VertexId> vcenter_;  // center of phi^{-1}(working vertex)
   std::vector<graph::VertexId> p1_;       // next hop toward vcenter

@@ -40,6 +40,11 @@ struct FibonacciParams {
   // receiving-side re-verification but must produce an identical trace
   // (pinned by the digest-equivalence tests).
   sim::AuditMode audit = sim::AuditMode::kStrict;
+  // Round executor for the distributed construction; kParallel shards each
+  // round across exec_threads workers (0 = hardware concurrency) and must
+  // also produce an identical trace (pinned by parallel_equivalence_test).
+  sim::ExecutionMode exec = sim::ExecutionMode::kSequential;
+  unsigned exec_threads = 0;
 };
 
 struct FibonacciLevels {

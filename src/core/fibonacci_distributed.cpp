@@ -50,7 +50,8 @@ DistributedFibonacciResult build_fibonacci_distributed(
   level_dist[o + 1].assign(n, graph::kUnreachable);
   for (unsigned i = 1; i <= o; ++i) {
     const std::uint32_t radius = lv.radius(i - 1);
-    sim::Network net(g, 1, params.audit);  // unit messages suffice for stage 1
+    // Unit messages suffice for stage 1.
+    sim::Network net(g, 1, params.audit, params.exec, params.exec_threads);
     sim::TruncatedMinIdFlood flood(level_mask[i], radius);
     const sim::Metrics m = net.run(flood, radius + 4);
     result.network.merge(m);
@@ -74,12 +75,14 @@ DistributedFibonacciResult build_fibonacci_distributed(
   // --- Stage 2 per level: capped ball broadcast + path marking + repair.
   for (unsigned i = 1; i <= o; ++i) {
     const std::uint32_t radius = lv.radius(i);
-    sim::Network net(g, result.message_cap_words, params.audit);
+    sim::Network net(g, result.message_cap_words, params.audit, params.exec,
+                     params.exec_threads);
     sim::BallBroadcast bc(level_mask[i], radius);
     const sim::Metrics m = net.run(bc, radius + 4);
     result.network.merge(m);
     result.stats.stage2_rounds += m.rounds;
-    result.stats.ceased_nodes += bc.ceased().size();
+    const auto ceased = bc.ceased();
+    result.stats.ceased_nodes += ceased.size();
 
     // Reverse path marking: walk next-hop pointers from each x ∈ V_{i-1} to
     // each ball member. Tokens would retrace the broadcast; charge one
@@ -113,10 +116,10 @@ DistributedFibonacciResult build_fibonacci_distributed(
     }
 
     // Las Vegas repair: cessation floods + failure reaction.
-    if (!bc.ceased().empty()) {
-      result.network.rounds += radius + bc.ceased().size();
-      result.stats.repair_rounds += radius + bc.ceased().size();
-      for (const auto& [z, step] : bc.ceased()) {
+    if (!ceased.empty()) {
+      result.network.rounds += radius + ceased.size();
+      result.stats.repair_rounds += radius + ceased.size();
+      for (const auto& [z, step] : ceased) {
         const auto dz = graph::bfs_distances(g, z, radius);
         for (VertexId x = 0; x < n; ++x) {
           if (!level_mask[i - 1][x] || dz[x] == graph::kUnreachable) continue;

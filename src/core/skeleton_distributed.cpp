@@ -14,7 +14,8 @@ DistributedSkeletonResult build_skeleton_distributed(
   result.message_cap_words =
       std::max<std::uint64_t>(8, static_cast<std::uint64_t>(std::ceil(cap)));
 
-  sim::Network net(g, result.message_cap_words, params.audit);
+  sim::Network net(g, result.message_cap_words, params.audit, params.exec,
+                   params.exec_threads);
   ClusterProtocol protocol(g, result.schedule, params.seed, &result.spanner);
   // Generous budget: the protocol is completion-driven and each call costs
   // O(tree depth + list length / cap); n rounds per expand call is far above

@@ -8,6 +8,24 @@
 
 namespace ultra::sim {
 
+namespace {
+
+// kParallel falls back to an inline single-lane round when the worklist is
+// too small to amortize the dispatch handshake. Pure wall-clock heuristic:
+// the merged output is independent of how (or whether) a round is sharded.
+constexpr std::size_t kParallelDispatchMin = 8;
+
+unsigned resolve_threads(ExecutionMode exec, unsigned threads) {
+  if (exec == ExecutionMode::kSequential) return 1;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  return std::clamp(threads, 1u, 64u);
+}
+
+}  // namespace
+
+Mailbox::Mailbox(Network& net, VertexId self)
+    : Mailbox(net, self, &net.lanes_.front()) {}
+
 std::uint64_t Mailbox::round() const noexcept { return net_.round(); }
 
 const graph::Graph& Mailbox::topology() const noexcept {
@@ -27,36 +45,23 @@ std::uint64_t Mailbox::message_cap() const noexcept {
   return net_.message_cap();
 }
 
-// Rebuild the neighbor-index table for sender v: after this, "is w adjacent
-// to v" and "at which adjacency position" are O(1) lookups. Amortized O(1)
-// per send — the O(deg v) build happens at most once per activation and is
-// skipped entirely by send_all.
-void Network::index_neighbors_of(VertexId v) {
-  ++cur_epoch_;
+// Rebuild the lane's neighbor-index table for sender v: after this, "is w
+// adjacent to v" and "at which adjacency position" are O(1) lookups.
+// Amortized O(1) per send — the O(deg v) build happens at most once per
+// activation and is skipped entirely by send_all.
+void Network::index_neighbors_of(detail::Lane& lane, VertexId v) {
+  ++lane.cur_epoch;
   const auto nbrs = graph_.neighbors(v);
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    nbr_pos_[nbrs[i]] = static_cast<std::uint32_t>(i);
-    nbr_epoch_[nbrs[i]] = cur_epoch_;
+    lane.nbr_pos[nbrs[i]] = static_cast<std::uint32_t>(i);
+    lane.nbr_epoch[nbrs[i]] = lane.cur_epoch;
   }
-  indexed_sender_ = v;
-}
-
-std::uint64_t Network::append_payload(std::span<const Word> payload) {
-  const std::uint64_t off = arena_next_.size();
-  arena_next_.insert(arena_next_.end(), payload.begin(), payload.end());
-  return off;
-}
-
-void Network::push_send(VertexId from, VertexId to, std::uint64_t off,
-                        std::size_t len) {
-  metrics_.note_message(len);
-  if (pend_count_[to]++ == 0) receivers_next_.push_back(to);
-  pending_.push_back(
-      PendingSend{from, to, static_cast<std::uint32_t>(len), off});
+  lane.indexed_sender = v;
 }
 
 // One message per neighbor per round: the directed arc's stamp must not
-// already carry this round's epoch.
+// already carry this round's epoch. Arc blocks are per-sender and a sender
+// activates on exactly one lane, so concurrent workers stamp disjoint slots.
 void Network::stamp_arc_or_reject(VertexId from, VertexId to,
                                   std::uint64_t arc) {
   ULTRA_CHECK_ARG(arc_stamp_[arc] != round_epoch_)
@@ -67,9 +72,10 @@ void Network::stamp_arc_or_reject(VertexId from, VertexId to,
 
 void Mailbox::send(VertexId to, std::span<const Word> payload) {
   Network& net = net_;
-  if (net.indexed_sender_ != self_) net.index_neighbors_of(self_);
-  ULTRA_CHECK_ARG(to < net.nbr_epoch_.size() &&
-                  net.nbr_epoch_[to] == net.cur_epoch_)
+  detail::Lane& lane = *lane_;
+  if (lane.indexed_sender != self_) net.index_neighbors_of(lane, self_);
+  ULTRA_CHECK_ARG(to < lane.nbr_epoch.size() &&
+                  lane.nbr_epoch[to] == lane.cur_epoch)
       << "Mailbox::send: " << self_ << " -> " << to
       << " is not a network link";
   if (payload.size() > net.cap_) {
@@ -77,12 +83,17 @@ void Mailbox::send(VertexId to, std::span<const Word> payload) {
                          " words exceeds cap " + std::to_string(net.cap_));
   }
   net.stamp_arc_or_reject(self_, to,
-                          net.arc_base_[self_] + net.nbr_pos_[to]);
-  net.push_send(self_, to, net.append_payload(payload), payload.size());
+                          net.arc_base_[self_] + lane.nbr_pos[to]);
+  const std::uint64_t off = lane.arena.size();
+  lane.arena.insert(lane.arena.end(), payload.begin(), payload.end());
+  lane.tally.note_message(payload.size());
+  lane.pending.push_back(detail::PendingSend{
+      self_, to, static_cast<std::uint32_t>(payload.size()), off});
 }
 
 void Mailbox::send_all(std::span<const Word> payload) {
   Network& net = net_;
+  detail::Lane& lane = *lane_;
   const auto nbrs = neighbors();
   if (nbrs.empty()) return;
   if (payload.size() > net.cap_) {
@@ -93,39 +104,51 @@ void Mailbox::send_all(std::span<const Word> payload) {
   // the same words. Neighbors come straight from the adjacency list, so no
   // per-recipient link validation is needed, and the directed-arc ids are
   // just consecutive slots of the sender's arc block.
-  const std::uint64_t off = net.append_payload(payload);
+  const std::uint64_t off = lane.arena.size();
+  lane.arena.insert(lane.arena.end(), payload.begin(), payload.end());
   const std::uint64_t base = net.arc_base_[self_];
+  const auto len = static_cast<std::uint32_t>(payload.size());
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
     net.stamp_arc_or_reject(self_, nbrs[i], base + i);
-    net.push_send(self_, nbrs[i], off, payload.size());
+    lane.tally.note_message(payload.size());
+    lane.pending.push_back(detail::PendingSend{self_, nbrs[i], len, off});
   }
 }
 
 void Mailbox::stay_awake() {
   if (!net_.awake_flag_[self_]) {
     net_.awake_flag_[self_] = 1;
-    // Activations run in increasing id order, so this list stays sorted.
-    net_.awake_next_.push_back(self_);
+    // A lane activates its shard in increasing id order and shards partition
+    // the sorted worklist, so every lane's list stays sorted and the lists
+    // concatenate in lane order to the same sequence the sequential executor
+    // records.
+    lane_->awake.push_back(self_);
   }
 }
 
 Network::Network(const graph::Graph& g, std::uint64_t message_cap,
-                 AuditMode audit)
-    : graph_(g), cap_(message_cap), audit_(audit) {
+                 AuditMode audit, ExecutionMode exec, unsigned threads)
+    : graph_(g), cap_(message_cap), audit_(audit), exec_(exec) {
   const VertexId n = g.num_vertices();
   in_head_.assign(n, 0);
   in_count_.assign(n, 0);
   pend_count_.assign(n, 0);
   awake_flag_.assign(n, 0);
-  nbr_pos_.assign(n, 0);
-  nbr_epoch_.assign(n, 0);
   cursor_.assign(n, 0);
   arc_base_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (VertexId v = 0; v < n; ++v) {
     arc_base_[v + 1] = arc_base_[v] + g.degree(v);
   }
   arc_stamp_.assign(arc_base_[n], 0);
+
+  lanes_.resize(resolve_threads(exec, threads));
+  for (detail::Lane& lane : lanes_) {
+    lane.nbr_pos.assign(n, 0);
+    lane.nbr_epoch.assign(n, 0);
+  }
 }
+
+Network::~Network() { stop_pool(); }
 
 // Receiving-side re-verification, independent of the send-time checks: the
 // inbox of v must be strictly sorted by sender, every sender must be a real
@@ -153,21 +176,36 @@ void Network::audit_inbox(VertexId v) const {
 }
 
 // Barrier: move this round's queued sends into the delivered (inbox) state.
-// The payload arena is swapped (not copied); inboxes become CSR slices of
-// one flat MessageView array, built by a stable counting scatter over the
-// send log. Sends were recorded in activation order — increasing sender id —
-// so each receiver's slice comes out sorted by sender without any sort.
+// Each lane's payload arena is swapped (not copied) into its delivered slot;
+// inboxes become CSR slices of one flat MessageView array, built by a stable
+// counting scatter over the concatenated send logs. Lanes are merged in
+// shard order and each lane recorded its sends in activation order, so the
+// combined log is in increasing sender id — each receiver's slice comes out
+// sorted by sender without any sort, exactly as in the sequential path.
 void Network::deliver_outboxes() {
   for (const VertexId v : receivers_) in_count_[v] = 0;
   receivers_.clear();
 
-  arena_.swap(arena_next_);
-  arena_next_.clear();
-
-  receivers_.swap(receivers_next_);
+  std::uint64_t delivered = 0;
+  for (detail::Lane& lane : lanes_) {
+    lane.arena.swap(lane.delivered);
+    lane.arena.clear();
+    delivered += lane.pending.size();
+    metrics_.messages += lane.tally.messages;
+    metrics_.total_words += lane.tally.total_words;
+    if (lane.tally.max_message_words > metrics_.max_message_words) {
+      metrics_.max_message_words = lane.tally.max_message_words;
+    }
+    lane.tally.messages = 0;
+    lane.tally.total_words = 0;
+    lane.tally.max_message_words = 0;
+    for (const detail::PendingSend& p : lane.pending) {
+      if (pend_count_[p.to]++ == 0) receivers_.push_back(p.to);
+    }
+  }
   std::sort(receivers_.begin(), receivers_.end());
 
-  in_msgs_.resize(pending_.size());
+  in_msgs_.resize(delivered);
   std::uint64_t pos = 0;
   for (const VertexId v : receivers_) {
     in_head_[v] = pos;
@@ -176,12 +214,14 @@ void Network::deliver_outboxes() {
     pos += pend_count_[v];
     pend_count_[v] = 0;
   }
-  for (const PendingSend& p : pending_) {
-    in_msgs_[cursor_[p.to]++] =
-        MessageView{p.from, {arena_.data() + p.off, p.len}};
+  for (detail::Lane& lane : lanes_) {
+    for (const detail::PendingSend& p : lane.pending) {
+      in_msgs_[cursor_[p.to]++] =
+          MessageView{p.from, {lane.delivered.data() + p.off, p.len}};
+    }
+    lane.pending.clear();
   }
-  delivered_last_round_ = pending_.size();
-  pending_.clear();
+  delivered_last_round_ = delivered;
 
   // Fold the delivered trace receiver-major (ascending receiver, ascending
   // sender within a receiver) — the exact order the digest has always used.
@@ -198,6 +238,23 @@ void Network::deliver_outboxes() {
   }
 }
 
+// Next round's worklist: nodes with mail plus explicit stay_awake()
+// requests — a merge of two sorted id lists instead of an O(n) scan. The
+// lanes' awake lists concatenate (in lane order) to one sorted sequence
+// because shards partition the sorted worklist contiguously.
+void Network::rebuild_worklist() {
+  awake_merged_.clear();
+  for (detail::Lane& lane : lanes_) {
+    awake_merged_.insert(awake_merged_.end(), lane.awake.begin(),
+                         lane.awake.end());
+    lane.awake.clear();
+  }
+  active_.clear();
+  std::set_union(receivers_.begin(), receivers_.end(), awake_merged_.begin(),
+                 awake_merged_.end(), std::back_inserter(active_));
+  for (const VertexId v : awake_merged_) awake_flag_[v] = 0;
+}
+
 // Return the transport to its start-of-run state: empty inboxes and send
 // queues, every node scheduled for round 0 (the standard synchronous-start
 // assumption: everyone knows the protocol is starting).
@@ -205,20 +262,141 @@ void Network::reset_transport() {
   for (const VertexId v : receivers_) in_count_[v] = 0;
   receivers_.clear();
   in_msgs_.clear();
-  arena_.clear();
   delivered_last_round_ = 0;
 
-  for (const VertexId v : receivers_next_) pend_count_[v] = 0;
-  receivers_next_.clear();
-  pending_.clear();
-  arena_next_.clear();
+  for (detail::Lane& lane : lanes_) {
+    lane.arena.clear();
+    lane.delivered.clear();
+    lane.pending.clear();
+    for (const VertexId v : lane.awake) awake_flag_[v] = 0;
+    lane.awake.clear();
+    lane.tally.messages = 0;
+    lane.tally.total_words = 0;
+    lane.tally.max_message_words = 0;
+    lane.indexed_sender = graph::kInvalidVertex;
+  }
 
-  for (const VertexId v : awake_next_) awake_flag_[v] = 0;
-  awake_next_.clear();
   active_.resize(num_nodes());
   std::iota(active_.begin(), active_.end(), VertexId{0});
+}
 
-  indexed_sender_ = graph::kInvalidVertex;
+// Activate a contiguous, ascending slice of the worklist through one lane.
+// Both executors funnel through this function, so the per-node sequence —
+// strict audit, then on_round — is identical by construction.
+void Network::run_shard(Protocol& protocol, detail::Lane& lane,
+                        const VertexId* ids, std::size_t count,
+                        VertexId audit_prev) {
+  VertexId last_activated = audit_prev;
+  for (std::size_t i = 0; i < count; ++i) {
+    const VertexId v = ids[i];
+    if (audit_ == AuditMode::kStrict) {
+      ULTRA_CHECK(last_activated == graph::kInvalidVertex ||
+                  last_activated < v)
+          << "activation order regressed at node " << v << " round "
+          << metrics_.rounds;
+      last_activated = v;
+      audit_inbox(v);
+    }
+    Mailbox mb(*this, v, &lane);
+    protocol.on_round(mb);
+  }
+}
+
+void Network::run_round(Protocol& protocol) {
+  if (exec_ == ExecutionMode::kParallel && lanes_.size() > 1 &&
+      active_.size() >= kParallelDispatchMin * lanes_.size()) {
+    run_round_parallel(protocol);
+  } else {
+    run_shard(protocol, lanes_.front(), active_.data(), active_.size(),
+              graph::kInvalidVertex);
+  }
+}
+
+// Shard the worklist into contiguous ranges, one per lane; workers 1..T-1
+// process theirs concurrently while the simulator thread takes shard 0. The
+// mutex/condition-variable handshake provides the happens-before edges that
+// publish shard data to the workers and lane state back to the barrier.
+void Network::run_round_parallel(Protocol& protocol) {
+  ensure_pool();
+  const std::size_t total = active_.size();
+  const std::size_t shard_count = lanes_.size();
+  shards_.assign(shard_count, Shard{});
+  shard_errors_.assign(shard_count, nullptr);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t begin = total * s / shard_count;
+    const std::size_t end = total * (s + 1) / shard_count;
+    shards_[s] = Shard{active_.data() + begin, end - begin,
+                       begin == 0 ? graph::kInvalidVertex
+                                  : active_[begin - 1]};
+  }
+  {
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    job_protocol_ = &protocol;
+    job_unfinished_ = static_cast<unsigned>(shard_count - 1);
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+
+  try {
+    run_shard(protocol, lanes_.front(), shards_[0].ids, shards_[0].count,
+              shards_[0].audit_prev);
+  } catch (...) {
+    shard_errors_[0] = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    idle_cv_.wait(lock, [&] { return job_unfinished_ == 0; });
+  }
+  // Deterministic-ish failure reporting: the lowest shard's exception wins.
+  // (Sequential execution would have thrown at the first offending node; any
+  // thrown error aborts the run either way.)
+  for (const std::exception_ptr& err : shard_errors_) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void Network::ensure_pool() {
+  if (!workers_.empty() || lanes_.size() <= 1) return;
+  workers_.reserve(lanes_.size() - 1);
+  for (unsigned w = 1; w < lanes_.size(); ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void Network::stop_pool() noexcept {
+  {
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void Network::worker_main(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      work_cv_.wait(lock, [&] { return pool_stop_ || job_id_ != seen; });
+      if (pool_stop_) return;
+      seen = job_id_;
+    }
+    try {
+      const Shard& shard = shards_[index];
+      run_shard(*job_protocol_, lanes_[index], shard.ids, shard.count,
+                shard.audit_prev);
+    } catch (...) {
+      shard_errors_[index] = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(pool_mu_);
+      if (--job_unfinished_ == 0) idle_cv_.notify_all();
+    }
+  }
 }
 
 Metrics Network::run(Protocol& protocol, std::uint64_t max_rounds) {
@@ -229,29 +407,10 @@ Metrics Network::run(Protocol& protocol, std::uint64_t max_rounds) {
     ULTRA_CHECK_RUNTIME(metrics_.rounds < max_rounds)
         << "Network::run: protocol exceeded " << max_rounds << " rounds";
     ++round_epoch_;  // invalidates all of last round's arc stamps at once
-    VertexId last_activated = graph::kInvalidVertex;
-    for (const VertexId v : active_) {
-      if (audit_ == AuditMode::kStrict) {
-        ULTRA_CHECK(last_activated == graph::kInvalidVertex ||
-                    last_activated < v)
-            << "activation order regressed at node " << v << " round "
-            << metrics_.rounds;
-        last_activated = v;
-        audit_inbox(v);
-      }
-      Mailbox mb(*this, v);
-      protocol.on_round(mb);
-    }
+    if (!active_.empty()) protocol.on_round_begin(*this);
+    run_round(protocol);
     deliver_outboxes();
-
-    // Next round's worklist: nodes with mail plus explicit stay_awake()
-    // requests — a merge of two sorted id lists instead of an O(n) scan.
-    active_.clear();
-    std::set_union(receivers_.begin(), receivers_.end(), awake_next_.begin(),
-                   awake_next_.end(), std::back_inserter(active_));
-    for (const VertexId v : awake_next_) awake_flag_[v] = 0;
-    awake_next_.clear();
-
+    rebuild_worklist();
     ++metrics_.rounds;
   }
   return metrics_;

@@ -10,18 +10,31 @@
 // kUnboundedMessages corresponds to Peleg's LOCAL model; a cap of 1 to
 // CONGEST.
 //
-// The simulator is single-threaded and deterministic: node activations are in
-// id order, inboxes are sorted by sender. All randomness lives in the
-// protocols' explicitly seeded Rngs, so any run is exactly reproducible.
+// The simulator is deterministic: node activations are in id order, inboxes
+// are sorted by sender. All randomness lives in the protocols' explicitly
+// seeded Rngs, so any run is exactly reproducible.
+//
+// Execution modes: ExecutionMode::kSequential (the default) activates the
+// round's worklist on the calling thread; ExecutionMode::kParallel shards the
+// sorted worklist into contiguous ranges processed by a fixed-size worker
+// pool. Each worker owns a detail::Lane — a thread-local bump arena, send
+// log, stay-awake list and neighbor-index scratch — and the barrier merges
+// the lanes *in shard order*, which is exactly ascending sender id, so the
+// stable counting scatter below produces byte-identical CSR inboxes,
+// activation order, Metrics counters and trace_digest for every thread count
+// (pinned by tests/parallel_equivalence_test.cpp). Parallel activation
+// requires the protocol's on_round to touch only its own node's state (the
+// CONGEST independence the paper assumes); cross-node bookkeeping belongs in
+// Protocol::on_round_begin, which always runs on the simulator thread.
 //
 // Transport layout (see DESIGN.md, "Simulator memory layout"): payloads live
-// in a per-round bump arena (two Word buffers swapped at delivery; a
-// broadcast stores its payload once), inboxes are CSR slices over one flat
-// MessageView array rebuilt per round by a stable counting scatter, the
-// round loop walks a sorted active-node worklist instead of scanning all n
-// nodes, and per-send discipline (real link, one message per neighbor per
-// round) is enforced through a per-sender neighbor-index table plus
-// per-directed-edge round stamps — no hashing, no per-message allocation.
+// in per-lane bump arenas (two Word buffers swapped at delivery; a broadcast
+// stores its payload once), inboxes are CSR slices over one flat MessageView
+// array rebuilt per round by a stable counting scatter, the round loop walks
+// a sorted active-node worklist instead of scanning all n nodes, and per-send
+// discipline (real link, one message per neighbor per round) is enforced
+// through a per-lane neighbor-index table plus per-directed-edge round stamps
+// — no hashing, no per-message allocation.
 //
 // Strict audit mode (the default) double-checks the discipline from the
 // receiving side: at every delivery the network re-verifies — independently
@@ -34,10 +47,14 @@
 // counts agree.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <initializer_list>
+#include <mutex>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "graph/graph.h"
@@ -112,12 +129,55 @@ class MessageTooLong : public std::runtime_error {
 // send-time checks only. Both are deterministic and fold the trace digest.
 enum class AuditMode : std::uint8_t { kStrict, kFast };
 
+// kSequential activates the worklist on the simulator thread; kParallel
+// shards it across a worker pool. Both produce bit-identical traces (and
+// both honor AuditMode independently).
+enum class ExecutionMode : std::uint8_t { kSequential, kParallel };
+
 class Network;
+
+namespace detail {
+
+// One queued (not yet delivered) message: the payload is lane.arena[off,
+// off+len). Broadcast entries share one offset.
+struct PendingSend {
+  VertexId from;
+  VertexId to;
+  std::uint32_t len;
+  std::uint64_t off;
+};
+
+// Per-worker transport state. The sequential executor uses lane 0 only; the
+// parallel executor gives each worker its own lane so a round's activations
+// never contend: sends bump-append into the lane arena and send log, and the
+// barrier concatenates lanes in shard order — ascending sender id — which is
+// exactly the order the sequential path records.
+struct Lane {
+  std::vector<Word> arena;      // payloads of the running round's sends
+  std::vector<Word> delivered;  // payloads delivered at the last barrier
+  std::vector<PendingSend> pending;  // send log, activation order
+  std::vector<VertexId> awake;       // stay_awake() requests, ascending
+  Metrics tally;  // per-round message counters; merged at the barrier
+
+  // Neighbor-index table for the sender currently being activated on this
+  // lane: built lazily on its first point-send of a round, it answers "is
+  // `to` adjacent to the sender, and at which adjacency position" in O(1).
+  // nbr_epoch[w] holds the epoch at which w was last marked; marks are valid
+  // while indexed_sender still owns the epoch.
+  std::vector<std::uint32_t> nbr_pos;
+  std::vector<std::uint64_t> nbr_epoch;
+  std::uint64_t cur_epoch = 0;
+  VertexId indexed_sender = graph::kInvalidVertex;
+};
+
+}  // namespace detail
 
 // The per-round view a node's code receives. Thin handle; cheap to construct.
 class Mailbox {
  public:
-  Mailbox(Network& net, VertexId self) : net_(net), self_(self) {}
+  // Binds to the network's first lane — the lane the sequential executor
+  // uses. The parallel executor hands nodes lane-bound mailboxes internally.
+  Mailbox(Network& net, VertexId self);
 
   [[nodiscard]] VertexId self() const noexcept { return self_; }
   [[nodiscard]] const graph::Graph& topology() const noexcept;
@@ -158,8 +218,14 @@ class Mailbox {
   void stay_awake();
 
  private:
+  friend class Network;
+
+  Mailbox(Network& net, VertexId self, detail::Lane* lane)
+      : net_(net), self_(self), lane_(lane) {}
+
   Network& net_;
   VertexId self_;
+  detail::Lane* lane_;
 };
 
 // A distributed protocol: one object holding the state of *all* nodes
@@ -173,7 +239,16 @@ class Protocol {
   // Called once before the first round; set up per-node state.
   virtual void begin(Network& net) = 0;
 
-  // Execute one round of node v's program.
+  // Called once at the start of every round that activates at least one
+  // node, before any on_round, always on the simulator's own thread (in both
+  // execution modes). Controller-style protocols advance global phase state
+  // here; under ExecutionMode::kParallel this is the only place a protocol
+  // may mutate cross-node state without synchronization.
+  virtual void on_round_begin(Network& /*net*/) {}
+
+  // Execute one round of node v's program. Under ExecutionMode::kParallel
+  // this runs concurrently for distinct nodes: it must only write state owned
+  // by mb.self() (plus explicitly synchronized shared accumulators).
   virtual void on_round(Mailbox& mb) = 0;
 
   // Queried after every round; return true to stop.
@@ -183,8 +258,17 @@ class Protocol {
 class Network {
  public:
   // message_cap: maximum words per message (kUnboundedMessages = LOCAL).
+  // threads: worker count for ExecutionMode::kParallel — 0 picks the
+  // hardware concurrency; kSequential always runs single-threaded. Thread
+  // count never changes the delivered trace, only the wall clock.
   Network(const graph::Graph& g, std::uint64_t message_cap,
-          AuditMode audit = AuditMode::kStrict);
+          AuditMode audit = AuditMode::kStrict,
+          ExecutionMode exec = ExecutionMode::kSequential,
+          unsigned threads = 0);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] VertexId num_nodes() const noexcept {
@@ -192,6 +276,11 @@ class Network {
   }
   [[nodiscard]] std::uint64_t message_cap() const noexcept { return cap_; }
   [[nodiscard]] AuditMode audit_mode() const noexcept { return audit_; }
+  [[nodiscard]] ExecutionMode execution_mode() const noexcept { return exec_; }
+  // The resolved worker count (1 under kSequential).
+  [[nodiscard]] unsigned worker_threads() const noexcept {
+    return static_cast<unsigned>(lanes_.size());
+  }
   [[nodiscard]] std::uint64_t round() const noexcept {
     return metrics_.rounds;
   }
@@ -208,7 +297,9 @@ class Network {
 
   // Run `protocol` until done() or `max_rounds` elapse. Returns the metrics.
   // Throws std::runtime_error if max_rounds is hit before done() — protocols
-  // in this library must terminate by their analyzed round bounds.
+  // in this library must terminate by their analyzed round bounds. An
+  // exception thrown by on_round in a parallel worker is rethrown here (the
+  // lowest-sharded one when several workers throw in the same round).
   Metrics run(Protocol& protocol, std::uint64_t max_rounds);
 
   // Charge idle rounds (used when a protocol's analysis reserves a fixed
@@ -219,66 +310,74 @@ class Network {
  private:
   friend class Mailbox;
 
-  // One queued (not yet delivered) message: payload is arena_next_[off,
-  // off+len). Broadcast entries share one offset.
-  struct PendingSend {
-    VertexId from;
-    VertexId to;
-    std::uint32_t len;
-    std::uint64_t off;
-  };
-
   void reset_transport();
   void deliver_outboxes();
+  void rebuild_worklist();
   void audit_inbox(VertexId v) const;
   void stamp_arc_or_reject(VertexId from, VertexId to, std::uint64_t arc);
-  void push_send(VertexId from, VertexId to, std::uint64_t off,
-                 std::size_t len);
-  [[nodiscard]] std::uint64_t append_payload(std::span<const Word> payload);
-  void index_neighbors_of(VertexId v);
+  void index_neighbors_of(detail::Lane& lane, VertexId v);
+
+  // Activate ids[0..count) through `lane`, auditing inbox and activation
+  // order in kStrict ('audit_prev' carries the id activated just before this
+  // shard, kInvalidVertex for the first shard).
+  void run_shard(Protocol& protocol, detail::Lane& lane, const VertexId* ids,
+                 std::size_t count, VertexId audit_prev);
+  void run_round(Protocol& protocol);
+  void run_round_parallel(Protocol& protocol);
+  void ensure_pool();
+  void stop_pool() noexcept;
+  void worker_main(unsigned index);
 
   const graph::Graph& graph_;
   std::uint64_t cap_;
   AuditMode audit_;
+  ExecutionMode exec_;
   Metrics metrics_;
 
+  // --- per-worker accumulating state (sends of the running round) ---------
+  // Lane 0 belongs to the simulator thread; lanes 1.. to the pool workers.
+  std::vector<detail::Lane> lanes_;
+
   // --- delivered state (what inbox() views) -------------------------------
-  std::vector<Word> arena_;             // payload words of the current inboxes
   std::vector<MessageView> in_msgs_;    // flat, receiver-major, sender-sorted
   std::vector<std::uint64_t> in_head_;  // per node: first slot in in_msgs_
   std::vector<std::uint32_t> in_count_; // per node: inbox length
   std::vector<VertexId> receivers_;     // nodes with in_count_ > 0, sorted
   std::vector<std::uint64_t> cursor_;   // scatter cursors, per receiver
+  std::vector<std::uint32_t> pend_count_;  // scratch: per-receiver counts
   std::uint64_t delivered_last_round_ = 0;
 
-  // --- accumulating state (sends of the running round) --------------------
-  std::vector<Word> arena_next_;
-  std::vector<PendingSend> pending_;
-  std::vector<std::uint32_t> pend_count_;  // per receiver, this round
-  std::vector<VertexId> receivers_next_;   // receivers with pend_count_ > 0
-
   // --- activation worklist ------------------------------------------------
-  std::vector<VertexId> active_;       // sorted ids to activate this round
-  std::vector<VertexId> awake_next_;   // stay_awake() calls, sorted, deduped
+  std::vector<VertexId> active_;        // sorted ids to activate this round
+  std::vector<VertexId> awake_merged_;  // scratch: lanes' awake lists merged
   std::vector<std::uint8_t> awake_flag_;
 
   // --- send discipline ----------------------------------------------------
-  // Neighbor-index table for the sender currently being activated: built
-  // lazily on its first point-send of a round, it answers "is `to` adjacent
-  // to the sender, and at which adjacency position" in O(1). nbr_epoch_[w]
-  // holds the epoch at which w was last marked; marks are valid while
-  // indexed_sender_ still owns the epoch.
-  std::vector<std::uint32_t> nbr_pos_;
-  std::vector<std::uint64_t> nbr_epoch_;
-  std::uint64_t cur_epoch_ = 0;
-  VertexId indexed_sender_ = graph::kInvalidVertex;
-
   // arc_base_[v] + i is the directed-arc id of (v -> neighbors(v)[i]);
   // arc_stamp_ records the last round epoch in which that arc carried a
-  // message (one message per neighbor per round).
+  // message (one message per neighbor per round). Each directed arc belongs
+  // to exactly one sender, and each sender activates on exactly one lane per
+  // round, so parallel workers write disjoint stamps.
   std::vector<std::uint64_t> arc_base_;
   std::vector<std::uint64_t> arc_stamp_;
   std::uint64_t round_epoch_ = 0;
+
+  // --- worker pool (kParallel only; started lazily at the first run) ------
+  struct Shard {
+    const VertexId* ids = nullptr;
+    std::size_t count = 0;
+    VertexId audit_prev = graph::kInvalidVertex;
+  };
+  std::vector<std::thread> workers_;
+  std::vector<Shard> shards_;
+  std::vector<std::exception_ptr> shard_errors_;
+  std::mutex pool_mu_;
+  std::condition_variable work_cv_;   // simulator -> workers: job published
+  std::condition_variable idle_cv_;   // workers -> simulator: job drained
+  Protocol* job_protocol_ = nullptr;
+  std::uint64_t job_id_ = 0;
+  unsigned job_unfinished_ = 0;
+  bool pool_stop_ = false;
 };
 
 }  // namespace ultra::sim

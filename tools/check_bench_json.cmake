@@ -1,58 +1,143 @@
-# bench-smoke: run `micro_core --json` on a tiny workload and validate the
-# emitted record against the ultra.bench_sim.v1 schema (presence of every
-# required key plus basic sanity of the numeric fields). Invoked by ctest:
-#   cmake -DBENCH_BIN=<path-to-micro_core> -P tools/check_bench_json.cmake
-if(NOT DEFINED BENCH_BIN)
-  message(FATAL_ERROR "bench-smoke: pass -DBENCH_BIN=<path to micro_core>")
-endif()
+# Validation for the ultra.bench_sim.v1 BENCH JSON contract. Two modes,
+# combinable in one invocation:
+#
+#   -DBENCH_BIN=<path-to-micro_core>
+#       bench-smoke: run `micro_core --json` on a tiny workload and validate
+#       the emitted record (presence of every required key plus basic sanity
+#       of the numeric fields).
+#
+#   -DBENCH_JSON=<path-to-BENCH_sim.json>
+#       file audit: parse the committed record array, validate every record,
+#       and reject duplicate {workload, protocol, execution, threads} tuples
+#       — the failure mode of a regeneration script appending instead of
+#       rewriting.
+#
+# Invoked by ctest (bench_smoke runs both modes) and by tools/run_bench.sh
+# (file audit on the freshly written array, before it replaces the old one):
+#   cmake -DBENCH_BIN=... -DBENCH_JSON=... -P tools/check_bench_json.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...), IN_LIST semantics
 
-execute_process(
-  COMMAND ${BENCH_BIN} --json --n 200 --m 600 --repeats 1
-  OUTPUT_VARIABLE out
-  ERROR_VARIABLE err
-  RESULT_VARIABLE rc
-  TIMEOUT 120)
-
-if(NOT rc EQUAL 0)
+if(NOT DEFINED BENCH_BIN AND NOT DEFINED BENCH_JSON)
   message(FATAL_ERROR
-    "bench-smoke: micro_core --json exited with ${rc}\nstderr: ${err}")
+    "check_bench_json: pass -DBENCH_BIN=<micro_core> and/or "
+    "-DBENCH_JSON=<BENCH_sim.json>")
 endif()
-
-string(STRIP "${out}" record)
-message(STATUS "bench-smoke record: ${record}")
 
 # CMake >= 3.19 ships a JSON parser; use it so malformed output (not just a
-# missing key) fails the test too.
-string(JSON schema ERROR_VARIABLE jerr GET "${record}" schema)
-if(jerr)
-  message(FATAL_ERROR "bench-smoke: output is not valid JSON: ${jerr}")
-endif()
-if(NOT schema STREQUAL "ultra.bench_sim.v1")
-  message(FATAL_ERROR "bench-smoke: unexpected schema '${schema}'")
-endif()
-
-foreach(key bench workload protocol audit message_cap repeats rounds messages
-            total_words trace_digest wall_seconds rounds_per_second
-            messages_per_second peak_rss_bytes)
-  string(JSON val ERROR_VARIABLE jerr GET "${record}" ${key})
+# missing key) fails the check too.
+function(ultra_validate_record record context)
+  string(JSON schema ERROR_VARIABLE jerr GET "${record}" schema)
   if(jerr)
-    message(FATAL_ERROR "bench-smoke: missing required key '${key}': ${jerr}")
+    message(FATAL_ERROR "${context}: not valid JSON: ${jerr}")
   endif()
-endforeach()
+  if(NOT schema STREQUAL "ultra.bench_sim.v1")
+    message(FATAL_ERROR "${context}: unexpected schema '${schema}'")
+  endif()
 
-foreach(key n m seed)
-  string(JSON val ERROR_VARIABLE jerr GET "${record}" workload ${key})
-  if(jerr)
+  foreach(key bench workload protocol audit execution threads message_cap
+              repeats rounds messages total_words trace_digest wall_seconds
+              rounds_per_second messages_per_second peak_rss_bytes)
+    string(JSON val ERROR_VARIABLE jerr GET "${record}" ${key})
+    if(jerr)
+      message(FATAL_ERROR "${context}: missing required key '${key}': ${jerr}")
+    endif()
+  endforeach()
+
+  foreach(key n m seed)
+    string(JSON val ERROR_VARIABLE jerr GET "${record}" workload ${key})
+    if(jerr)
+      message(FATAL_ERROR
+        "${context}: missing required workload key '${key}': ${jerr}")
+    endif()
+  endforeach()
+
+  string(JSON execution GET "${record}" execution)
+  if(NOT execution STREQUAL "sequential" AND NOT execution STREQUAL "parallel")
+    message(FATAL_ERROR "${context}: unexpected execution '${execution}'")
+  endif()
+  string(JSON threads GET "${record}" threads)
+  if(threads LESS 1)
+    message(FATAL_ERROR "${context}: nonpositive thread count '${threads}'")
+  endif()
+
+  string(JSON rounds GET "${record}" rounds)
+  string(JSON messages GET "${record}" messages)
+  if(rounds EQUAL 0 OR messages EQUAL 0)
     message(FATAL_ERROR
-      "bench-smoke: missing required workload key '${key}': ${jerr}")
+      "${context}: degenerate record (rounds=${rounds}, messages=${messages})")
   endif()
-endforeach()
+endfunction()
 
-string(JSON rounds GET "${record}" rounds)
-string(JSON messages GET "${record}" messages)
-if(rounds EQUAL 0 OR messages EQUAL 0)
-  message(FATAL_ERROR
-    "bench-smoke: degenerate record (rounds=${rounds}, messages=${messages})")
+if(DEFINED BENCH_BIN)
+  execute_process(
+    COMMAND ${BENCH_BIN} --json --n 200 --m 600 --repeats 1
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+    TIMEOUT 120)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "bench-smoke: micro_core --json exited with ${rc}\nstderr: ${err}")
+  endif()
+  string(STRIP "${out}" record)
+  message(STATUS "bench-smoke record: ${record}")
+  ultra_validate_record("${record}" "bench-smoke")
+
+  # The parallel executor must accept the same workload and stay on the
+  # documented record shape (threads reports the resolved worker count).
+  execute_process(
+    COMMAND ${BENCH_BIN} --json --n 200 --m 600 --repeats 1
+            --exec parallel --threads 2
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+    TIMEOUT 120)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "bench-smoke: micro_core --json --exec parallel exited with ${rc}\n"
+      "stderr: ${err}")
+  endif()
+  string(STRIP "${out}" record)
+  ultra_validate_record("${record}" "bench-smoke (parallel)")
+  string(JSON execution GET "${record}" execution)
+  string(JSON threads GET "${record}" threads)
+  if(NOT execution STREQUAL "parallel" OR NOT threads EQUAL 2)
+    message(FATAL_ERROR
+      "bench-smoke: parallel record reports execution=${execution} "
+      "threads=${threads}, expected parallel/2")
+  endif()
+  message(STATUS "bench-smoke: OK")
 endif()
 
-message(STATUS "bench-smoke: OK (rounds=${rounds}, messages=${messages})")
+if(DEFINED BENCH_JSON)
+  file(READ "${BENCH_JSON}" doc)
+  string(JSON count ERROR_VARIABLE jerr LENGTH "${doc}")
+  if(jerr)
+    message(FATAL_ERROR "${BENCH_JSON}: not a valid JSON array: ${jerr}")
+  endif()
+  if(count EQUAL 0)
+    message(FATAL_ERROR "${BENCH_JSON}: empty record array")
+  endif()
+
+  set(seen "")
+  math(EXPR last "${count} - 1")
+  foreach(i RANGE 0 ${last})
+    string(JSON record GET "${doc}" ${i})
+    ultra_validate_record("${record}" "${BENCH_JSON} record ${i}")
+    string(JSON wl_n GET "${record}" workload n)
+    string(JSON wl_m GET "${record}" workload m)
+    string(JSON wl_seed GET "${record}" workload seed)
+    string(JSON protocol GET "${record}" protocol)
+    string(JSON execution GET "${record}" execution)
+    string(JSON threads GET "${record}" threads)
+    set(key "n${wl_n}/m${wl_m}/s${wl_seed}/${protocol}/${execution}/t${threads}")
+    if("${key}" IN_LIST seen)
+      message(FATAL_ERROR
+        "${BENCH_JSON} record ${i}: duplicate {workload, protocol, "
+        "execution, threads} tuple ${key} — regeneration appended instead "
+        "of rewriting")
+    endif()
+    list(APPEND seen "${key}")
+  endforeach()
+  message(STATUS "${BENCH_JSON}: OK (${count} records, no duplicates)")
+endif()

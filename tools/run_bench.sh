@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_sim.json: build the release preset and run the simulator
-# transport workload (micro_core --json) at three sizes. Each record follows
-# the ultra.bench_sim.v1 schema (see bench/common.h); the output file is a
-# JSON array ordered small -> large so trend tooling can diff across PRs.
+# transport workload (micro_core --json) at three sizes, sweeping the round
+# executor over sequential and parallel {2, 4} worker threads. Each record
+# follows the ultra.bench_sim.v1 schema (see bench/common.h); the output file
+# is a JSON array ordered small -> large, sequential -> parallel, so trend
+# tooling can diff across PRs.
+#
+# Regeneration is idempotent: records are assembled in a temp file, audited
+# by tools/check_bench_json.cmake (schema + duplicate {workload, protocol,
+# execution, threads} rejection), and only then atomically moved over the
+# previous array. Rerunning never appends to or corrupts an existing file.
 #
 # Usage: tools/run_bench.sh [output-path]   (default: BENCH_sim.json)
 set -euo pipefail
@@ -16,14 +23,41 @@ cmake --build --preset release --target micro_core -- -j"$(nproc)" >/dev/null
 BIN=build-release/bench/micro_core
 [ -x "$BIN" ] || { echo "run_bench.sh: $BIN not built" >&2; exit 1; }
 
+TMP="$OUT.tmp"
+trap 'rm -f "$TMP"' EXIT
+
+# workload sizes: "n m repeats" (repeats shrink as n grows)
+SIZES=(
+  "10000   100000   10"
+  "100000  1000000  3"
+  "1000000 10000000 1"
+)
+# executor sweep: "--exec ... [--threads T]" per record
+EXECS=(
+  "--exec sequential"
+  "--exec parallel --threads 2"
+  "--exec parallel --threads 4"
+)
+
 {
   echo "["
-  "$BIN" --json --n 10000   --m 100000   --seed 1 --repeats 10 | sed 's/$/,/'
-  "$BIN" --json --n 100000  --m 1000000  --seed 1 --repeats 3  | sed 's/$/,/'
-  "$BIN" --json --n 1000000 --m 10000000 --seed 1 --repeats 1
+  first=1
+  for size in "${SIZES[@]}"; do
+    read -r n m repeats <<<"$size"
+    for exec_args in "${EXECS[@]}"; do
+      [ "$first" -eq 1 ] && first=0 || echo ","
+      # shellcheck disable=SC2086
+      "$BIN" --json --n "$n" --m "$m" --seed 1 --repeats "$repeats" \
+             $exec_args | tr -d '\n'
+    done
+  done
+  echo
   echo "]"
-} > "$OUT.tmp"
-mv "$OUT.tmp" "$OUT"
+} > "$TMP"
+
+cmake -DBENCH_JSON="$TMP" -P tools/check_bench_json.cmake
+mv "$TMP" "$OUT"
+trap - EXIT
 
 echo "wrote $OUT:"
 cat "$OUT"
