@@ -17,11 +17,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "sim/faults.h"
 #include "sim/flood.h"
 #include "sim/network.h"
 #include "spanner/evaluate.h"
@@ -53,6 +55,15 @@ class WallClock {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+// CPU cores visible to this process (0 from the runtime is reported as 1).
+// Recorded in every BENCH record so trend tooling can tell a slow run from a
+// run on a smaller machine, and so the parallel sweep can be skipped when
+// there is nothing to parallelize over.
+inline unsigned detected_cpu_cores() {
+  const unsigned c = std::thread::hardware_concurrency();
+  return c == 0 ? 1u : c;
+}
 
 // Peak resident set size of this process, in bytes (Linux reports KiB).
 inline std::uint64_t peak_rss_bytes() {
@@ -128,31 +139,92 @@ struct SimTransportOptions {
   sim::ExecutionMode exec = sim::ExecutionMode::kSequential;
   unsigned threads = 0;  // kParallel worker count; 0 = hardware concurrency
   std::uint64_t ping_rounds = 8;
+  // Deterministic fault injection (all-zero rates = fault-free, the default).
+  sim::FaultRates faults;
+  std::uint64_t fault_seed = 1;
 };
+
+// Parse a `--faults` spec: comma-separated key=value probabilities, e.g.
+// "drop=0.01,duplicate=0.005,delay=0.01,crash=0.002,restart=0.5,link=0.001".
+// Returns false (leaving *out* partially updated) on an unknown key or a
+// malformed number.
+inline bool parse_fault_rates(const std::string& spec, sim::FaultRates* out) {
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str() + eq + 1, &end);
+    if (end == item.c_str() + eq + 1) return false;
+    if (key == "drop") {
+      out->drop = value;
+    } else if (key == "duplicate" || key == "dup") {
+      out->duplicate = value;
+    } else if (key == "delay") {
+      out->delay = value;
+    } else if (key == "crash") {
+      out->crash = value;
+    } else if (key == "restart") {
+      out->restart = value;
+    } else if (key == "link" || key == "link_down") {
+      out->link_down = value;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
 
 // Run the simulator-transport benchmark and return the JSON record. The
 // workload is er_workload(n, m); rounds-per-second aggregates `repeats`
 // fresh Network runs over one shared graph.
 inline std::string sim_transport_json(const SimTransportOptions& opt) {
   const graph::Graph g = er_workload(opt.n, opt.m, opt.seed);
+  const sim::FaultPlan plan = opt.faults.any()
+                                  ? sim::FaultPlan(opt.fault_seed, opt.faults)
+                                  : sim::FaultPlan();
   sim::Metrics total{};
+  sim::Metrics::FaultCounters fault_total{};
   std::uint64_t digest = 0;
+  std::string run_status = "completed";
   const WallClock clock;
   unsigned resolved_threads = 1;
   for (int r = 0; r < opt.repeats; ++r) {
     sim::Network net(g, opt.cap, opt.audit, opt.exec, opt.threads);
+    if (!plan.empty()) net.set_fault_plan(&plan);
     resolved_threads = net.worker_threads();
-    sim::Metrics met;
+    sim::RunOutcome out;
     if (opt.protocol == "ping_all") {
       PingAllProtocol p(opt.ping_rounds);
-      met = net.run(p, opt.ping_rounds + 4);
+      out = net.run_outcome(p, {.max_rounds = opt.ping_rounds + 4,
+                                .protocol_name = "ping_all"});
     } else {
       sim::BfsFlood p(0);
-      met = net.run(p, 8 * static_cast<std::uint64_t>(opt.n) + 64);
+      out = net.run_outcome(
+          p, {.max_rounds = 8 * static_cast<std::uint64_t>(opt.n) + 64,
+              .protocol_name = "bfs_flood"});
+    }
+    const sim::Metrics& met = out.metrics;
+    switch (out.status) {
+      case sim::RunStatus::kCompleted:
+        break;
+      case sim::RunStatus::kRoundBudgetExhausted:
+        run_status = "budget_exhausted";
+        break;
+      case sim::RunStatus::kDeadlocked:
+        run_status = "deadlocked";
+        break;
     }
     total.rounds += met.rounds;
     total.messages += met.messages;
     total.total_words += met.total_words;
+    fault_total.dropped += met.faults.dropped;
+    fault_total.duplicated += met.faults.duplicated;
+    fault_total.delayed += met.faults.delayed;
+    fault_total.crashed += met.faults.crashed;
+    fault_total.restarted += met.faults.restarted;
     digest = met.trace_digest;  // identical across repeats (deterministic)
   }
   const double wall = clock.seconds();
@@ -163,8 +235,9 @@ inline std::string sim_transport_json(const SimTransportOptions& opt) {
       .field("m", opt.m)
       .field("seed", opt.seed);
   JsonObject record;
-  record.field("schema", std::string("ultra.bench_sim.v1"))
+  record.field("schema", std::string("ultra.bench_sim.v2"))
       .field("bench", std::string("sim_transport"))
+      .field("cpu_cores", std::uint64_t{detected_cpu_cores()})
       .raw("workload", workload.str())
       .field("protocol", opt.protocol)
       .field("audit", std::string(opt.audit == sim::AuditMode::kStrict
@@ -184,14 +257,25 @@ inline std::string sim_transport_json(const SimTransportOptions& opt) {
       .field("wall_seconds", wall)
       .field("rounds_per_second", wall > 0 ? total.rounds / wall : 0.0)
       .field("messages_per_second", wall > 0 ? total.messages / wall : 0.0)
-      .field("peak_rss_bytes", peak_rss_bytes());
+      .field("peak_rss_bytes", peak_rss_bytes())
+      .field("run_status", run_status);
+  if (!plan.empty()) {
+    JsonObject faults;
+    faults.field("seed", opt.fault_seed)
+        .field("dropped", fault_total.dropped)
+        .field("duplicated", fault_total.duplicated)
+        .field("delayed", fault_total.delayed)
+        .field("crashed", fault_total.crashed)
+        .field("restarted", fault_total.restarted);
+    record.raw("faults", faults.str());
+  }
   return record.str();
 }
 
 // `argv`-style driver for the --json mode of micro_core: parses
-// --n/--m/--seed/--cap/--repeats/--protocol/--audit/--exec/--threads
-// overrides and prints one JSON record to stdout. Returns a process exit
-// code.
+// --n/--m/--seed/--cap/--repeats/--protocol/--audit/--exec/--threads plus
+// the fault knobs --faults <spec>/--fault-seed <s>, and prints one JSON
+// record to stdout. Returns a process exit code.
 inline int run_sim_transport_json(int argc, char** argv) {
   SimTransportOptions opt;
   auto next_u64 = [&](int& i) -> std::uint64_t {
@@ -223,6 +307,13 @@ inline int run_sim_transport_json(int argc, char** argv) {
                      : sim::ExecutionMode::kSequential;
     } else if (arg == "--threads") {
       opt.threads = static_cast<unsigned>(next_u64(i));
+    } else if (arg == "--faults" && i + 1 < argc) {
+      if (!parse_fault_rates(argv[++i], &opt.faults)) {
+        std::cerr << "malformed --faults spec: " << argv[i] << "\n";
+        return 2;
+      }
+    } else if (arg == "--fault-seed") {
+      opt.fault_seed = next_u64(i);
     } else {
       std::cerr << "unknown --json option: " << arg << "\n";
       return 2;

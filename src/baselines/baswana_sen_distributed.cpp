@@ -4,13 +4,15 @@
 #include <cmath>
 
 #include "check/check.h"
+#include "sim/faults.h"
 
 namespace ultra::baselines {
 
 DistributedBaswanaSenResult baswana_sen_distributed(
     const graph::Graph& g, unsigned k, std::uint64_t seed,
     std::uint64_t message_cap_words, sim::AuditMode audit,
-    sim::ExecutionMode exec, unsigned exec_threads) {
+    sim::ExecutionMode exec, unsigned exec_threads,
+    const sim::FaultPlan* faults) {
   ULTRA_CHECK_ARG(k >= 1) << "baswana_sen_distributed: k must be >= 1";
   DistributedBaswanaSenResult result{spanner::Spanner(g), {}, {}, 0};
   result.message_cap_words = std::max<std::uint64_t>(8, message_cap_words);
@@ -27,12 +29,17 @@ DistributedBaswanaSenResult baswana_sen_distributed(
   schedule.rounds.push_back(std::move(round));
 
   sim::Network net(g, result.message_cap_words, audit, exec, exec_threads);
+  net.set_fault_plan(faults);
   core::ClusterProtocol protocol(g, schedule, seed, &result.spanner);
   const std::uint64_t budget =
       (static_cast<std::uint64_t>(k) + 2) *
           (static_cast<std::uint64_t>(g.num_vertices()) + 64) +
       1024;
-  result.network = net.run(protocol, budget);
+  const sim::RunOutcome out = net.run_outcome(
+      protocol, {.max_rounds = budget, .protocol_name = "ClusterProtocol"});
+  ULTRA_CHECK_RUNTIME(out.completed())
+      << "baswana_sen_distributed: " << out.diagnostic;
+  result.network = out.metrics;
   result.protocol = protocol.stats();
   return result;
 }

@@ -22,11 +22,13 @@ struct DistributedBaswanaSenResult {
   std::uint64_t message_cap_words = 0;
 };
 
+// `faults` is an optional borrowed fault plan; nullptr (or an empty plan)
+// reproduces the fault-free traces byte for byte.
 [[nodiscard]] DistributedBaswanaSenResult baswana_sen_distributed(
     const graph::Graph& g, unsigned k, std::uint64_t seed,
     std::uint64_t message_cap_words = 8,
     sim::AuditMode audit = sim::AuditMode::kStrict,
     sim::ExecutionMode exec = sim::ExecutionMode::kSequential,
-    unsigned exec_threads = 0);
+    unsigned exec_threads = 0, const sim::FaultPlan* faults = nullptr);
 
 }  // namespace ultra::baselines

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "baselines/mis_protocol.h"
+#include "check/check.h"
 #include "graph/connectivity.h"
 #include "util/saturating.h"
 #include "util/rng.h"
@@ -57,9 +58,13 @@ CdsSkeletonResult cds_skeleton_distributed(const graph::Graph& g,
   CdsSkeletonResult result{spanner::Spanner(g), CdsSkeletonStats{}};
   sim::Network net(g, 2);  // rank messages are 2 words
   LubyMisProtocol protocol(seed);
-  const sim::Metrics m = net.run(
-      protocol, 64ull * (util::ceil_log2(g.num_vertices() + 2) + 4));
-  if (metrics != nullptr) *metrics = m;
+  const sim::RunOutcome out = net.run_outcome(
+      protocol,
+      {.max_rounds = 64ull * (util::ceil_log2(g.num_vertices() + 2) + 4),
+       .protocol_name = "LubyMisProtocol"});
+  ULTRA_CHECK_RUNTIME(out.completed())
+      << "cds_skeleton_distributed: " << out.diagnostic;
+  if (metrics != nullptr) *metrics = out.metrics;
   result.stats.mis_rounds = protocol.luby_rounds();
   finish_skeleton(g, protocol.in_mis(), result);
   return result;

@@ -75,6 +75,11 @@ void ClusterProtocol::begin(sim::Network& net) {
   list_done_sending_.assign(n, 0);
   abort_flag_.assign(n, 0);
   horizon_known_.assign(n, 0);
+  cand_sent_.assign(n, 0);
+  act_resolved_.assign(n, 0);
+  cand_recheck_.assign(n, 0);
+  crash_was_alive_.assign(n, 0);
+  crash_seen_ = false;
 
   // Per-message list chunk capacity: 1 tag word + 3 words per entry.
   const std::uint64_t cap = net.message_cap();
@@ -87,6 +92,9 @@ void ClusterProtocol::begin(sim::Network& net) {
 }
 
 void ClusterProtocol::start_schedule_round() {
+  // Repair pointer damage left by mid-round crashes before counting the
+  // round's participants (no-op, and skipped entirely, in fault-free runs).
+  if (crash_seen_) heal_orphans();
   // Clusters become singletons of working vertices; p2 starts out as p1.
   std::uint64_t alive_count = 0;
   const auto& probs = schedule_.rounds[round_index_].probs;
@@ -123,10 +131,19 @@ void ClusterProtocol::start_call() {
     list_mode_[v] = 0;
     list_done_sending_[v] = 0;
     abort_flag_[v] = 0;
+    cand_sent_[v] = 0;
+    act_resolved_[v] = 0;
+    cand_recheck_[v] = 0;
     if (is_acting(v)) {
       ++acting_members;
-      cand_wait_[v] = static_cast<std::uint32_t>(children_[v].size());
-      list_wait_[v] = static_cast<std::uint32_t>(children_[v].size());
+      // Count only protocol-alive children: fault-free the two coincide
+      // (groups die as whole trees), but a crashed child's teardown may
+      // leave dead ids in lists rebuilt later this round.
+      const auto live_children = static_cast<std::uint32_t>(std::count_if(
+          children_[v].begin(), children_[v].end(),
+          [&](VertexId c) { return alive_[c] != 0; }));
+      cand_wait_[v] = live_children;
+      list_wait_[v] = live_children;
       local_entries_[v].clear();
       list_queue_[v].clear();
       seen_clusters_[v].clear();
@@ -301,6 +318,7 @@ void ClusterProtocol::send_candidate_up_or_decide(sim::Mailbox& mb) {
     return;
   }
   const Candidate& b = best_[v];
+  cand_sent_[v] = 1;
   mb.send(p1_[v], {kTagCand, b.has ? Word{1} : Word{0}, b.target_center,
                    b.target_horizon, b.v, b.w});
 }
@@ -323,6 +341,7 @@ void ClusterProtocol::center_decide(sim::Mailbox& mb) {
       mb.send(c, {kTagJoin, b.target_center, b.target_horizon, b.v, b.w,
                   on_path});
     }
+    act_resolved_[v] = 1;
     --barrier_pending_;  // center resolved
     return;
   }
@@ -405,6 +424,7 @@ void ClusterProtocol::finish_member(sim::Mailbox& mb, bool aborted) {
   alive_[v] = 0;
   --alive_total_;
   list_mode_[v] = 0;
+  act_resolved_[v] = 1;
   --barrier_pending_;
 }
 
@@ -441,7 +461,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
             winner_child_[v] = m.from;
           }
         }
-        --cand_wait_[v];
+        if (cand_wait_[v] > 0) --cand_wait_[v];
         fresh_cand = true;
         break;
       }
@@ -466,6 +486,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
           mb.send(c, {kTagJoin, new_center, new_horizon, vstar, wstar,
                       child_on_path});
         }
+        act_resolved_[v] = 1;
         --barrier_pending_;
         return;  // resolved; nothing else matters this call
       }
@@ -500,7 +521,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
         break;
       }
       case kTagListEnd: {
-        --list_wait_[v];
+        if (list_wait_[v] > 0) --list_wait_[v];
         break;
       }
       case kTagAbortUp: {
@@ -528,9 +549,15 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
     return;
   }
 
-  if (fresh_cand && cand_wait_[v] == 0 && !list_mode_[v]) {
-    send_candidate_up_or_decide(mb);
-    return;
+  if (fresh_cand || cand_recheck_[v]) {
+    cand_recheck_[v] = 0;
+    // The extra guards only matter after a crash repair: fault-free, a
+    // fresh candidate with cand_wait_ == 0 implies neither flag is set.
+    if (cand_wait_[v] == 0 && !list_mode_[v] && !cand_sent_[v] &&
+        !act_resolved_[v]) {
+      send_candidate_up_or_decide(mb);
+      return;
+    }
   }
 
   if (list_mode_[v]) {
@@ -557,10 +584,230 @@ void ClusterProtocol::handle_contract(sim::Mailbox& mb) {
     }
   } else {
     for (const sim::MessageView& m : mb.inbox()) {
-      if (!m.payload.empty() && m.payload[0] == kTagParentPing) {
+      if (!m.payload.empty() && m.payload[0] == kTagParentPing &&
+          alive_[m.from]) {
+        // The alive_ filter only bites under crash faults: a pinger that
+        // crashed after sending must not be adopted as a child. alive_ is
+        // stable during kContract (only simulator-thread hooks write it),
+        // so the cross-node read is race-free under kParallel.
         children_[v].push_back(m.from);
       }
     }
+  }
+}
+
+// --- Crash-restart resilience ---------------------------------------------
+//
+// All of the following runs on the simulator thread (Network fault hooks and
+// on_round_begin), so cross-node state is mutated without synchronization,
+// exactly like the controller. None of it executes in fault-free runs: the
+// hooks only fire from an attached FaultPlan, and the orphan sweep is gated
+// on crash_seen_ — the golden digests are unaffected.
+
+// Settle the barrier debt w owes the current phase, so the controller can
+// still reach zero after w leaves the protocol mid-phase.
+void ClusterProtocol::resolve_barrier_debt(VertexId w) {
+  switch (phase_) {
+    case Phase::kRoundStart:
+      if (!horizon_known_[w]) {
+        horizon_known_[w] = 1;
+        --barrier_pending_;
+      }
+      break;
+    case Phase::kStatus:
+    case Phase::kAct:
+      // The kAct barrier (preloaded by start_call) counts acting members;
+      // each settles it exactly once (JOIN resolution or death), tracked by
+      // act_resolved_.
+      if (is_acting(w) && !act_resolved_[w]) {
+        act_resolved_[w] = 1;
+        --barrier_pending_;
+      }
+      break;
+    case Phase::kContract:
+    case Phase::kDone:
+      break;  // no barrier in these phases
+  }
+}
+
+// The abort rule's safety escape: with every incident edge of w in the
+// spanner, any stretch argument involving w holds unconditionally, so w can
+// drop out of (or re-enter) the clustering at any point.
+void ClusterProtocol::keep_all_incident_edges(VertexId w) {
+  const std::lock_guard<std::mutex> lock(out_mu_);
+  for (const VertexId x : graph_.neighbors(w)) out_->add_edge(w, x);
+}
+
+// Reset w to a freshly started singleton cluster (pointers, scratch and
+// repair flags); the caller assigns horizon/liveness per context.
+void ClusterProtocol::make_singleton(VertexId w) {
+  vcenter_[w] = w;
+  ccenter_[w] = w;
+  p1_[w] = graph::kInvalidVertex;
+  p2_[w] = graph::kInvalidVertex;
+  children_[w].clear();
+  best_[w] = Candidate{};
+  winner_child_[w] = graph::kInvalidVertex;
+  cand_wait_[w] = 0;
+  list_wait_[w] = 0;
+  statuses_read_[w] = 1;  // never re-enter the current call's entry branch
+  local_entries_[w].clear();
+  list_queue_[w].clear();
+  seen_clusters_[w].clear();
+  list_mode_[w] = 0;
+  list_done_sending_[w] = 0;
+  abort_flag_[w] = 0;
+  cand_sent_[w] = 0;
+  act_resolved_[w] = 0;
+  cand_recheck_[w] = 0;
+}
+
+// All alive vertices whose p1-chain passes through v (including v itself),
+// ascending. Memoized chain walks: linear in the number of alive vertices.
+std::vector<VertexId> ClusterProtocol::collect_subtree(VertexId v) {
+  const auto n = static_cast<VertexId>(alive_.size());
+  // 0 unknown / 1 in subtree / 2 outside / 3 on the current walk
+  std::vector<std::uint8_t> state(n, 0);
+  state[v] = 1;
+  std::vector<VertexId> path;
+  for (VertexId w = 0; w < n; ++w) {
+    if (!alive_[w] || state[w]) continue;
+    path.clear();
+    VertexId cur = w;
+    std::uint8_t verdict = 2;
+    for (;;) {
+      if (state[cur] == 1 || state[cur] == 2) {
+        verdict = state[cur];
+        break;
+      }
+      if (state[cur] == 3) break;  // damaged pointer cycle: call it outside
+      state[cur] = 3;
+      path.push_back(cur);
+      const VertexId p = p1_[cur];
+      if (p == graph::kInvalidVertex || !alive_[p]) break;
+      cur = p;
+    }
+    for (const VertexId x : path) state[x] = verdict;
+  }
+  std::vector<VertexId> members;
+  for (VertexId w = 0; w < n; ++w) {
+    if (state[w] == 1 && (w == v || alive_[w])) members.push_back(w);
+  }
+  return members;
+}
+
+void ClusterProtocol::on_crash(sim::Network&, VertexId v) {
+  crash_seen_ = true;
+  crash_was_alive_[v] = alive_[v];
+  if (!alive_[v]) return;  // already protocol-dead: nothing to tear down
+  ++stats_.crash_teardowns;
+
+  // The crashed node's parent is the only tree edge leaving the subtree:
+  // stop waiting for v's candidate / list end unless it is already up (or in
+  // flight — cand_sent_/list_done_sending_ are set at send time, so an
+  // in-flight message is never double-counted).
+  const VertexId parent = p1_[v];
+  if (parent != graph::kInvalidVertex && alive_[parent]) {
+    std::erase(children_[parent], v);
+    if ((phase_ == Phase::kStatus || phase_ == Phase::kAct) &&
+        is_acting(parent) && !act_resolved_[parent]) {
+      if (!cand_sent_[v] && cand_wait_[parent] > 0) {
+        --cand_wait_[parent];
+        cand_recheck_[parent] = 1;
+      }
+      if (!list_done_sending_[v] && list_wait_[parent] > 0) {
+        --list_wait_[parent];
+      }
+    }
+  }
+
+  // Tear the whole p1-subtree down to singletons: members keep all their
+  // incident edges, settle their barrier debt, and re-enter as singleton
+  // clusters that act no earlier than the next call.
+  for (const VertexId w : collect_subtree(v)) {
+    resolve_barrier_debt(w);
+    keep_all_incident_edges(w);
+    make_singleton(w);
+    if (phase_ == Phase::kRoundStart) {
+      horizon_[w] = first_unsampled_[round_index_][w];
+      horizon_known_[w] = 1;
+    } else {
+      horizon_[w] = std::max<std::uint32_t>(
+          first_unsampled_[round_index_][w], call_index_ + 1);
+    }
+  }
+  alive_[v] = 0;
+  --alive_total_;
+}
+
+void ClusterProtocol::on_restart(sim::Network&, VertexId v) {
+  if (!crash_was_alive_[v]) return;  // was protocol-dead before the crash
+  crash_was_alive_[v] = 0;
+  if (phase_ == Phase::kDone) return;
+  ++stats_.crash_rejoins;
+  alive_[v] = 1;
+  ++alive_total_;
+  make_singleton(v);
+  if (phase_ == Phase::kRoundStart) {
+    // Not counted in this phase's barrier (it was dead when the phase
+    // started, or its teardown already settled the debt) — compute the
+    // horizon directly, as its own center.
+    horizon_[v] = first_unsampled_[round_index_][v];
+    horizon_known_[v] = 1;
+  } else {
+    horizon_[v] = std::max<std::uint32_t>(first_unsampled_[round_index_][v],
+                                          call_index_ + 1);
+    act_resolved_[v] = 1;  // owes nothing to the call it missed
+  }
+}
+
+// Schedule-round boundary sweep: singleton-ize every alive vertex whose
+// p1-chain no longer reaches an alive center of its own cluster through
+// mutually consistent parent/child links — e.g. a group that JOINed toward a
+// node that crashed after the status exchange, or whose contraction ping was
+// lost to a crashed receiver. Incident-edge safety keeps the stretch
+// guarantee intact for every healed vertex.
+void ClusterProtocol::heal_orphans() {
+  const auto n = static_cast<VertexId>(alive_.size());
+  // 0 unknown / 1 rooted / 2 orphaned / 3 on the current walk
+  std::vector<std::uint8_t> state(n, 0);
+  std::vector<VertexId> path;
+  for (VertexId w = 0; w < n; ++w) {
+    if (!alive_[w] || state[w]) continue;
+    path.clear();
+    VertexId cur = w;
+    std::uint8_t verdict = 2;
+    for (;;) {
+      if (state[cur] == 1 || state[cur] == 2) {
+        verdict = state[cur];
+        break;
+      }
+      if (state[cur] == 3) break;  // pointer cycle: orphaned
+      state[cur] = 3;
+      path.push_back(cur);
+      const VertexId p = p1_[cur];
+      if (p == graph::kInvalidVertex) {
+        verdict = vcenter_[cur] == cur ? 1 : 2;
+        break;
+      }
+      if (!alive_[p] || vcenter_[p] != vcenter_[cur] ||
+          std::find(children_[p].begin(), children_[p].end(), cur) ==
+              children_[p].end()) {
+        break;  // broken link: cur and everything below it are orphaned
+      }
+      cur = p;
+    }
+    for (const VertexId x : path) state[x] = verdict;
+  }
+  for (VertexId w = 0; w < n; ++w) {
+    if (!alive_[w] || state[w] != 2) continue;
+    ++stats_.orphans_healed;
+    const VertexId p = p1_[w];
+    if (p != graph::kInvalidVertex && alive_[p]) std::erase(children_[p], w);
+    keep_all_incident_edges(w);
+    make_singleton(w);
+    // horizon_: recomputed by the imminent round-start broadcast (w is now
+    // its own center).
   }
 }
 

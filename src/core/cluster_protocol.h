@@ -58,6 +58,10 @@ struct ClusterProtocolStats {
   std::uint64_t resolve_rounds = 0;
   std::uint64_t contraction_rounds = 0;
   std::uint64_t broadcast_rounds = 0;  // round-start horizon broadcasts
+  // Crash-fault resilience (all zero without an active FaultPlan):
+  std::uint64_t crash_teardowns = 0;  // crash events that tore down a subtree
+  std::uint64_t crash_rejoins = 0;    // restarted nodes re-joined as singletons
+  std::uint64_t orphans_healed = 0;   // vertices singleton-ized by the sweep
 };
 
 class ClusterProtocol : public sim::Protocol {
@@ -72,6 +76,18 @@ class ClusterProtocol : public sim::Protocol {
   void on_round_begin(sim::Network& net) override;
   void on_round(sim::Mailbox& mb) override;
   [[nodiscard]] bool done(const sim::Network& net) const override;
+
+  // In-protocol crash-restart resilience (simulator-thread hooks). A crash
+  // tears down the crashed node's whole p1-subtree: every member keeps all
+  // its incident edges (the paper's abort-rule safety escape, which preserves
+  // the stretch guarantee unconditionally), settles its outstanding barrier
+  // debt, and becomes a singleton cluster again; the crashed node's parent
+  // stops waiting for it. A restarted node re-joins as a fresh singleton
+  // cluster (unless it was already protocol-dead before the crash). Residual
+  // pointer damage — e.g. a subtree that contracted toward a node that then
+  // crashed — is repaired by an orphan sweep at every schedule-round start.
+  void on_crash(sim::Network& net, graph::VertexId v) override;
+  void on_restart(sim::Network& net, graph::VertexId v) override;
 
   [[nodiscard]] const ClusterProtocolStats& stats() const noexcept {
     return stats_;
@@ -136,6 +152,13 @@ class ClusterProtocol : public sim::Protocol {
   void finish_member(sim::Mailbox& mb, bool aborted);
   void enqueue_entry(graph::VertexId v, const ListEntry& entry);
 
+  // Crash-resilience helpers (simulator thread only).
+  void resolve_barrier_debt(graph::VertexId w);
+  void keep_all_incident_edges(graph::VertexId w);
+  void make_singleton(graph::VertexId w);
+  [[nodiscard]] std::vector<graph::VertexId> collect_subtree(graph::VertexId v);
+  void heal_orphans();
+
   [[nodiscard]] bool is_acting(graph::VertexId v) const {
     return alive_[v] && horizon_[v] == call_index_;
   }
@@ -189,6 +212,18 @@ class ClusterProtocol : public sim::Protocol {
   std::vector<std::uint8_t> abort_flag_;   // abort seen at this vertex
   std::vector<std::uint8_t> horizon_known_;
   std::uint64_t list_chunk_entries_ = 1;   // entries per LIST message
+
+  // --- crash-fault bookkeeping (untouched in fault-free runs)
+  // cand_sent_: this member's candidate is up (or in flight) — its parent's
+  // cand_wait_ must NOT be repaired for it. act_resolved_: this vertex has
+  // settled its kAct barrier debt (JOIN received/decided or finished dead).
+  // cand_recheck_: a teardown repaired this vertex's cand_wait_; re-evaluate
+  // the send-candidate gate even without a fresh message.
+  std::vector<std::uint8_t> cand_sent_;
+  std::vector<std::uint8_t> act_resolved_;
+  std::vector<std::uint8_t> cand_recheck_;
+  std::vector<std::uint8_t> crash_was_alive_;  // protocol-alive when crashed
+  bool crash_seen_ = false;  // gates the orphan sweep off fault-free runs
 };
 
 }  // namespace ultra::core

@@ -45,6 +45,9 @@ struct FibonacciParams {
   // also produce an identical trace (pinned by parallel_equivalence_test).
   sim::ExecutionMode exec = sim::ExecutionMode::kSequential;
   unsigned exec_threads = 0;
+  // Optional fault plan (borrowed; must outlive the build). nullptr or an
+  // empty plan reproduces the fault-free golden traces byte for byte.
+  const sim::FaultPlan* faults = nullptr;
 };
 
 struct FibonacciLevels {

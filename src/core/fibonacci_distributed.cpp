@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.h"
 #include "core/ball_broadcast.h"
 #include "graph/bfs.h"
+#include "sim/faults.h"
 #include "sim/flood.h"
 #include "util/rng.h"
 
@@ -52,8 +54,15 @@ DistributedFibonacciResult build_fibonacci_distributed(
     const std::uint32_t radius = lv.radius(i - 1);
     // Unit messages suffice for stage 1.
     sim::Network net(g, 1, params.audit, params.exec, params.exec_threads);
+    net.set_fault_plan(params.faults);
     sim::TruncatedMinIdFlood flood(level_mask[i], radius);
-    const sim::Metrics m = net.run(flood, radius + 4);
+    const sim::RunOutcome out = net.run_outcome(
+        flood, {.max_rounds = static_cast<std::uint64_t>(radius) + 4,
+                .protocol_name = "TruncatedMinIdFlood"});
+    ULTRA_CHECK_RUNTIME(out.completed())
+        << "build_fibonacci_distributed: stage 1 level " << i << ": "
+        << out.diagnostic;
+    const sim::Metrics& m = out.metrics;
     result.network.merge(m);
     result.stats.stage1_rounds += m.rounds;
     for (VertexId v = 0; v < n; ++v) {
@@ -77,8 +86,15 @@ DistributedFibonacciResult build_fibonacci_distributed(
     const std::uint32_t radius = lv.radius(i);
     sim::Network net(g, result.message_cap_words, params.audit, params.exec,
                      params.exec_threads);
+    net.set_fault_plan(params.faults);
     sim::BallBroadcast bc(level_mask[i], radius);
-    const sim::Metrics m = net.run(bc, radius + 4);
+    const sim::RunOutcome out = net.run_outcome(
+        bc, {.max_rounds = static_cast<std::uint64_t>(radius) + 4,
+             .protocol_name = "BallBroadcast"});
+    ULTRA_CHECK_RUNTIME(out.completed())
+        << "build_fibonacci_distributed: stage 2 level " << i << ": "
+        << out.diagnostic;
+    const sim::Metrics& m = out.metrics;
     result.network.merge(m);
     result.stats.stage2_rounds += m.rounds;
     const auto ceased = bc.ceased();

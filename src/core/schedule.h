@@ -60,6 +60,9 @@ struct SkeletonParams {
   // also produce an identical trace (pinned by parallel_equivalence_test).
   sim::ExecutionMode exec = sim::ExecutionMode::kSequential;
   unsigned exec_threads = 0;
+  // Optional fault plan (borrowed; must outlive the build). nullptr or an
+  // empty plan reproduces the fault-free golden traces byte for byte.
+  const sim::FaultPlan* faults = nullptr;
 };
 
 // Build the Theorem 2 schedule for an n-vertex graph. Throws

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.h"
+#include "sim/faults.h"
+
 namespace ultra::core {
 
 DistributedSkeletonResult build_skeleton_distributed(
@@ -16,6 +19,7 @@ DistributedSkeletonResult build_skeleton_distributed(
 
   sim::Network net(g, result.message_cap_words, params.audit, params.exec,
                    params.exec_threads);
+  net.set_fault_plan(params.faults);
   ClusterProtocol protocol(g, result.schedule, params.seed, &result.spanner);
   // Generous budget: the protocol is completion-driven and each call costs
   // O(tree depth + list length / cap); n rounds per expand call is far above
@@ -24,7 +28,11 @@ DistributedSkeletonResult build_skeleton_distributed(
       (static_cast<std::uint64_t>(result.schedule.total_expand_calls) + 2) *
           (static_cast<std::uint64_t>(g.num_vertices()) + 64) +
       1024;
-  result.network = net.run(protocol, budget);
+  const sim::RunOutcome out = net.run_outcome(
+      protocol, {.max_rounds = budget, .protocol_name = "ClusterProtocol"});
+  ULTRA_CHECK_RUNTIME(out.completed())
+      << "build_skeleton_distributed: " << out.diagnostic;
+  result.network = out.metrics;
   result.protocol = protocol.stats();
   return result;
 }

@@ -54,12 +54,16 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace ultra::sim {
+
+class FaultPlan;  // sim/faults.h
 
 using Word = std::uint64_t;
 using graph::VertexId;
@@ -80,10 +84,29 @@ using Message = MessageView;
 
 // Cost and compliance accounting for a protocol run.
 struct Metrics {
+  // Injected-fault accounting (all zero unless a non-empty FaultPlan is
+  // attached). `messages`/`total_words` keep counting what protocols *send*
+  // (the protocol's cost is charged whether or not the network loses the
+  // message); the counters below describe what the fault layer did to those
+  // sends and to the nodes. Like the other counters they are a pure function
+  // of (plan, protocol, seed) — identical across ExecutionMode, thread count
+  // and AuditMode.
+  struct FaultCounters {
+    std::uint64_t dropped = 0;     // lost: fate draw, dead link, dead receiver
+    std::uint64_t duplicated = 0;  // extra copies scheduled
+    std::uint64_t delayed = 0;     // deliveries deferred >= 1 round
+    std::uint64_t crashed = 0;     // node crash events
+    std::uint64_t restarted = 0;   // node restart events
+    [[nodiscard]] bool any() const noexcept {
+      return dropped || duplicated || delayed || crashed || restarted;
+    }
+  };
+
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t total_words = 0;
   std::uint64_t max_message_words = 0;
+  FaultCounters faults;
   // FNV-1a fingerprint of the full delivered message trace
   // (round, from, to, length, words). Equal traces <=> equal digests for all
   // practical purposes; used by the determinism regression tests.
@@ -109,6 +132,11 @@ struct Metrics {
     if (other.max_message_words > max_message_words) {
       max_message_words = other.max_message_words;
     }
+    faults.dropped += other.faults.dropped;
+    faults.duplicated += other.faults.duplicated;
+    faults.delayed += other.faults.delayed;
+    faults.crashed += other.faults.crashed;
+    faults.restarted += other.faults.restarted;
     // Fold a separator first: a lone fold(x) is XOR-commutative in x, and a
     // trace is a sequence — merging A then B must not equal B then A.
     fold(0x6d65726765ull);
@@ -133,6 +161,43 @@ enum class AuditMode : std::uint8_t { kStrict, kFast };
 // shards it across a worker pool. Both produce bit-identical traces (and
 // both honor AuditMode independently).
 enum class ExecutionMode : std::uint8_t { kSequential, kParallel };
+
+// How a supervised run ended. kCompleted: the protocol's done() flipped
+// within the round budget. kRoundBudgetExhausted: the budget ran out while
+// the network still had work in flight (active nodes, undelivered or delayed
+// messages, or a pending node restart) — the classic "too-small budget"
+// case. kDeadlocked: the budget ran out after the network had gone
+// permanently silent — no activations, no messages, no delayed traffic, no
+// future restarts — yet done() never flipped; nothing the network can do
+// will ever change the protocol's state again. (Idle rounds still advance
+// the round counter, as several protocols terminate on a round count, so
+// deadlock is only *declared* when the budget elapses.)
+enum class RunStatus : std::uint8_t {
+  kCompleted,
+  kRoundBudgetExhausted,
+  kDeadlocked,
+};
+
+// Structured result of Network::run_outcome: metrics plus how the run ended.
+struct RunOutcome {
+  RunStatus status = RunStatus::kCompleted;
+  Metrics metrics;
+  // Last round in which any node activated or any message was delivered.
+  std::uint64_t last_active_round = 0;
+  // Empty when completed; otherwise names the protocol, the budget and the
+  // last-active round — the string ULTRA_CHECK failures surface.
+  std::string diagnostic;
+  [[nodiscard]] bool completed() const noexcept {
+    return status == RunStatus::kCompleted;
+  }
+};
+
+// Knobs for one supervised run.
+struct RunOptions {
+  std::uint64_t max_rounds = 0;
+  // Used in watchdog diagnostics ("which protocol is stuck?").
+  const char* protocol_name = "protocol";
+};
 
 class Network;
 
@@ -168,6 +233,22 @@ struct Lane {
   std::vector<std::uint64_t> nbr_epoch;
   std::uint64_t cur_epoch = 0;
   VertexId indexed_sender = graph::kInvalidVertex;
+};
+
+// A message the fault layer holds back: it joins the inboxes at the barrier
+// of round `due` (so it is consumed in round due + 1). The payload is owned
+// here — the sender's arena is long recycled by the time it matures.
+struct DelayedMsg {
+  std::uint64_t due;
+  VertexId from;
+  VertexId to;
+  std::vector<Word> payload;
+};
+
+// A scheduled crash or restart, effective at the start of `round`.
+struct FaultEvent {
+  std::uint64_t round;
+  VertexId node;
 };
 
 }  // namespace detail
@@ -253,6 +334,15 @@ class Protocol {
 
   // Queried after every round; return true to stop.
   [[nodiscard]] virtual bool done(const Network& net) const = 0;
+
+  // Fault notifications, delivered on the simulator thread at the start of
+  // the round in which the event takes effect (before on_round_begin). A
+  // crashed node is excluded from the worklist and receives no messages for
+  // the duration of its crash interval; a restarted node is force-woken in
+  // its restart round. Protocols that want in-protocol resilience override
+  // these; the defaults ignore the events (retry-level recovery only).
+  virtual void on_crash(Network& /*net*/, VertexId /*v*/) {}
+  virtual void on_restart(Network& /*net*/, VertexId /*v*/) {}
 };
 
 class Network {
@@ -295,12 +385,27 @@ class Network {
     return delivered_last_round_ != 0;
   }
 
+  // Attach a fault schedule for subsequent runs (nullptr or an empty plan
+  // restores the fault-free fast path — byte-identical to a network that
+  // never saw a plan). The plan is borrowed, not copied; it must outlive the
+  // runs that use it. Fault rounds are absolute network rounds, so pair a
+  // plan with a freshly constructed Network.
+  void set_fault_plan(const FaultPlan* plan) noexcept { plan_ = plan; }
+  [[nodiscard]] const FaultPlan* fault_plan() const noexcept { return plan_; }
+
   // Run `protocol` until done() or `max_rounds` elapse. Returns the metrics.
   // Throws std::runtime_error if max_rounds is hit before done() — protocols
   // in this library must terminate by their analyzed round bounds. An
   // exception thrown by on_round in a parallel worker is rethrown here (the
   // lowest-sharded one when several workers throw in the same round).
   Metrics run(Protocol& protocol, std::uint64_t max_rounds);
+
+  // Like run(), but a blown round budget yields a structured RunOutcome
+  // (budget-exhausted vs deadlocked-no-pending-work, with a diagnostic
+  // naming the protocol and its last active round) instead of a throw.
+  // Callers that cannot make progress without the structure should prefer
+  // run(); supervisors that retry/degrade should use this.
+  RunOutcome run_outcome(Protocol& protocol, const RunOptions& options);
 
   // Charge idle rounds (used when a protocol's analysis reserves a fixed
   // round budget for a phase that finished early at every node; keeps the
@@ -313,6 +418,13 @@ class Network {
   void reset_transport();
   void deliver_outboxes();
   void rebuild_worklist();
+  // Fault-path counterparts (used only when a non-empty plan is attached;
+  // the legacy functions above stay byte-identical for fault-free runs).
+  void prepare_fault_run();
+  void apply_fault_events(Protocol& protocol);
+  void deliver_outboxes_faulty();
+  void rebuild_worklist_faulty();
+  [[nodiscard]] bool fault_work_pending() const noexcept;
   void audit_inbox(VertexId v) const;
   void stamp_arc_or_reject(VertexId from, VertexId to, std::uint64_t arc);
   void index_neighbors_of(detail::Lane& lane, VertexId v);
@@ -361,6 +473,26 @@ class Network {
   std::vector<std::uint64_t> arc_base_;
   std::vector<std::uint64_t> arc_stamp_;
   std::uint64_t round_epoch_ = 0;
+
+  // --- fault schedule (active only while plan_ is non-empty) --------------
+  const FaultPlan* plan_ = nullptr;
+  bool faults_active_ = false;
+  std::vector<detail::DelayedMsg> delayed_;   // in-flight deferred messages
+  std::vector<detail::DelayedMsg> matured_;   // payload owners, this round
+  std::vector<detail::FaultEvent> crash_events_;    // sorted (round, node)
+  std::vector<detail::FaultEvent> restart_events_;  // sorted (round, node)
+  std::size_t crash_cursor_ = 0;
+  std::size_t restart_cursor_ = 0;
+  std::uint64_t last_active_round_ = 0;
+  // Scratch for the faulty barrier: delivery records and arc occupancy.
+  struct DeliveryRec {
+    VertexId from;
+    VertexId to;
+    const Word* data;
+    std::uint32_t len;
+  };
+  std::vector<DeliveryRec> recs_;
+  std::unordered_set<std::uint64_t> occupied_;  // from * n + to, this barrier
 
   // --- worker pool (kParallel only; started lazily at the first run) ------
   struct Shard {

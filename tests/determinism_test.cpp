@@ -104,5 +104,41 @@ TEST(Determinism, MetricsMergeChainsDigest) {
   EXPECT_EQ(ab.trace_digest, ab2.trace_digest);
 }
 
+TEST(Determinism, MetricsMergeAccumulatesFaultCounters) {
+  // Fault counters ride along with merge() exactly like the message tallies:
+  // they sum, and their presence does not perturb the digest chaining (the
+  // digest fingerprints the delivered trace; faults change what is delivered,
+  // not how the fingerprint composes).
+  sim::Metrics a, b;
+  a.fold(1);
+  a.faults.dropped = 3;
+  a.faults.delayed = 1;
+  b.fold(2);
+  b.faults.dropped = 2;
+  b.faults.duplicated = 5;
+  b.faults.crashed = 1;
+  b.faults.restarted = 1;
+
+  sim::Metrics ab = a;
+  ab.merge(b);
+  EXPECT_EQ(ab.faults.dropped, 5u);
+  EXPECT_EQ(ab.faults.duplicated, 5u);
+  EXPECT_EQ(ab.faults.delayed, 1u);
+  EXPECT_EQ(ab.faults.crashed, 1u);
+  EXPECT_EQ(ab.faults.restarted, 1u);
+  EXPECT_TRUE(ab.faults.any());
+
+  // Order sensitivity of the digest is unaffected by the counters.
+  sim::Metrics ba = b;
+  ba.merge(a);
+  EXPECT_NE(ab.trace_digest, ba.trace_digest);
+  EXPECT_EQ(ba.faults.dropped, ab.faults.dropped);
+
+  // Counter-free metrics report no fault activity.
+  sim::Metrics clean;
+  clean.fold(7);
+  EXPECT_FALSE(clean.faults.any());
+}
+
 }  // namespace
 }  // namespace ultra::core

@@ -1,4 +1,4 @@
-# Validation for the ultra.bench_sim.v1 BENCH JSON contract. Two modes,
+# Validation for the ultra.bench_sim.v2 BENCH JSON contract. Two modes,
 # combinable in one invocation:
 #
 #   -DBENCH_BIN=<path-to-micro_core>
@@ -30,13 +30,14 @@ function(ultra_validate_record record context)
   if(jerr)
     message(FATAL_ERROR "${context}: not valid JSON: ${jerr}")
   endif()
-  if(NOT schema STREQUAL "ultra.bench_sim.v1")
+  if(NOT schema STREQUAL "ultra.bench_sim.v2")
     message(FATAL_ERROR "${context}: unexpected schema '${schema}'")
   endif()
 
-  foreach(key bench workload protocol audit execution threads message_cap
-              repeats rounds messages total_words trace_digest wall_seconds
-              rounds_per_second messages_per_second peak_rss_bytes)
+  foreach(key bench cpu_cores workload protocol audit execution threads
+              message_cap repeats rounds messages total_words trace_digest
+              wall_seconds rounds_per_second messages_per_second
+              peak_rss_bytes run_status)
     string(JSON val ERROR_VARIABLE jerr GET "${record}" ${key})
     if(jerr)
       message(FATAL_ERROR "${context}: missing required key '${key}': ${jerr}")
@@ -58,6 +59,10 @@ function(ultra_validate_record record context)
   string(JSON threads GET "${record}" threads)
   if(threads LESS 1)
     message(FATAL_ERROR "${context}: nonpositive thread count '${threads}'")
+  endif()
+  string(JSON cpu_cores GET "${record}" cpu_cores)
+  if(cpu_cores LESS 1)
+    message(FATAL_ERROR "${context}: nonpositive cpu_cores '${cpu_cores}'")
   endif()
 
   string(JSON rounds GET "${record}" rounds)

@@ -2,9 +2,12 @@
 # Regenerate BENCH_sim.json: build the release preset and run the simulator
 # transport workload (micro_core --json) at three sizes, sweeping the round
 # executor over sequential and parallel {2, 4} worker threads. Each record
-# follows the ultra.bench_sim.v1 schema (see bench/common.h); the output file
-# is a JSON array ordered small -> large, sequential -> parallel, so trend
-# tooling can diff across PRs.
+# follows the ultra.bench_sim.v2 schema (see bench/common.h) and carries the
+# detected CPU core count; the output file is a JSON array ordered
+# small -> large, sequential -> parallel, so trend tooling can diff across
+# PRs. On a single-core machine the parallel sweep is skipped (a parallel
+# "scaling" point measured on one core is pure scheduling noise) and a note
+# is logged instead.
 #
 # Regeneration is idempotent: records are assembled in a temp file, audited
 # by tools/check_bench_json.cmake (schema + duplicate {workload, protocol,
@@ -32,12 +35,15 @@ SIZES=(
   "100000  1000000  3"
   "1000000 10000000 1"
 )
-# executor sweep: "--exec ... [--threads T]" per record
-EXECS=(
-  "--exec sequential"
-  "--exec parallel --threads 2"
-  "--exec parallel --threads 4"
-)
+# executor sweep: "--exec ... [--threads T]" per record. Parallel points are
+# only meaningful with >1 core to schedule onto.
+CORES="$(nproc)"
+EXECS=("--exec sequential")
+if [ "$CORES" -gt 1 ]; then
+  EXECS+=("--exec parallel --threads 2" "--exec parallel --threads 4")
+else
+  echo "run_bench.sh: 1 CPU core detected; skipping the parallel sweep" >&2
+fi
 
 {
   echo "["
