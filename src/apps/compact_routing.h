@@ -85,6 +85,7 @@ class CompactRouting {
   std::vector<TreeState> trees_;               // one per landmark
   // cluster_next_[u][w] = next hop from u toward w, for w with
   // d(u,w) < d(w,L).
+  // ultra-lint: lookup-only(routing tables are probed per (u,w), never walked)
   std::vector<std::unordered_map<graph::VertexId, graph::VertexId>>
       cluster_next_;
 };

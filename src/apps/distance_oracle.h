@@ -52,6 +52,7 @@ class DistanceOracle {
   std::vector<std::vector<std::uint32_t>> landmark_row_;
   std::vector<std::uint32_t> landmark_index_;         // a -> row index
   // bunch_[v]: exact distances to every w strictly closer than A.
+  // ultra-lint: lookup-only(queried per (v,w); size() feeds space_ only)
   std::vector<std::unordered_map<graph::VertexId, std::uint32_t>> bunch_;
   std::uint64_t space_ = 0;
 };

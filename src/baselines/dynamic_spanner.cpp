@@ -169,8 +169,14 @@ graph::Graph DynamicSpanner::spanner_snapshot() const {
 }
 
 bool DynamicSpanner::invariant_holds() const {
-  for (const std::uint64_t key : spanner_edges_) {
-    if (!edges_.contains(key)) return false;  // spanner must be a subgraph
+  // Enumerate spanner edges through spanner_adj_ (deterministic order)
+  // rather than the hash set; the set is membership-only.
+  for (VertexId su = 0; su < spanner_adj_.size(); ++su) {
+    for (const VertexId sv : spanner_adj_[su]) {
+      if (su > sv) continue;
+      const std::uint64_t key = graph::edge_key(graph::make_edge(su, sv));
+      if (!edges_.contains(key)) return false;  // spanner must be a subgraph
+    }
   }
   for (VertexId u = 0; u < adj_.size(); ++u) {
     for (const VertexId v : adj_[u]) {

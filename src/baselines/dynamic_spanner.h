@@ -64,7 +64,9 @@ class DynamicSpanner {
   std::uint64_t spanner_m_ = 0;
   std::vector<std::vector<graph::VertexId>> adj_;          // full graph
   std::vector<std::vector<graph::VertexId>> spanner_adj_;  // spanner only
+  // ultra-lint: lookup-only(membership tests; enumeration goes via adj_)
   std::unordered_set<std::uint64_t> edges_;
+  // ultra-lint: lookup-only(membership tests; enumeration goes via spanner_adj_)
   std::unordered_set<std::uint64_t> spanner_edges_;
 
   // Epoch-stamped BFS scratch (mutable: used by const queries).

@@ -33,7 +33,7 @@ void LubyMisProtocol::on_round(sim::Mailbox& mb) {
     if (!m.payload.empty() && m.payload[0] == kTagJoined &&
         state_[v] == State::kUndecided) {
       state_[v] = State::kOut;
-      --undecided_;
+      undecided_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
   if (state_[v] != State::kUndecided) return;
@@ -41,7 +41,13 @@ void LubyMisProtocol::on_round(sim::Mailbox& mb) {
 
   if (mb.round() % 2 == 0) {
     // Rank exchange step: draw and broadcast this Luby round's rank.
-    luby_rounds_ = std::max(luby_rounds_, mb.round() / 2 + 1);
+    // Monotone max over lanes — commutative, so deterministic.
+    const std::uint64_t this_round = mb.round() / 2 + 1;
+    std::uint64_t seen = luby_rounds_.load(std::memory_order_relaxed);
+    while (seen < this_round && !luby_rounds_.compare_exchange_weak(
+                                    seen, this_round,
+                                    std::memory_order_relaxed)) {
+    }
     my_rank_[v] = node_rng_[v].next();
     mb.send_all({kTagRank, my_rank_[v]});
   } else {
@@ -59,7 +65,7 @@ void LubyMisProtocol::on_round(sim::Mailbox& mb) {
     }
     if (is_min) {
       state_[v] = State::kInMis;
-      --undecided_;
+      undecided_.fetch_sub(1, std::memory_order_relaxed);
       mb.send_all({kTagJoined});
     }
   }

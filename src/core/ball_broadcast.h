@@ -15,7 +15,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -38,9 +38,8 @@ class BallBroadcast : public Protocol {
   [[nodiscard]] bool done(const Network& net) const override;
 
   // known()[z]: every source z learned about, with distance and next hop.
-  [[nodiscard]] const std::vector<
-      std::unordered_map<VertexId, KnownSource>>&
-  known() const noexcept {
+  [[nodiscard]] const std::vector<std::map<VertexId, KnownSource>>& known()
+      const noexcept {
     return known_;
   }
 
@@ -58,7 +57,10 @@ class BallBroadcast : public Protocol {
   std::vector<std::uint8_t> is_source_;
   std::uint32_t radius_;
 
-  std::vector<std::unordered_map<VertexId, KnownSource>> known_;
+  // Ordered by source id: consumers (spanner path marking in
+  // fibonacci_distributed.cpp) iterate this and insert spanner edges in the
+  // iteration order, so the container order is part of the observable output.
+  std::vector<std::map<VertexId, KnownSource>> known_;
   std::vector<std::uint32_t> cease_step_;  // kNotCeased if still relaying
 };
 

@@ -166,7 +166,7 @@ class ClusterProtocol : public sim::Protocol {
   const graph::Graph& graph_;
   SkeletonSchedule schedule_;
   std::uint64_t seed_;
-  spanner::Spanner* out_;
+  spanner::Spanner* out_;  // ultra-lint: guarded-by(out_mu_)
   double abort_factor_;
   ClusterProtocolStats stats_;
 
@@ -205,6 +205,7 @@ class ClusterProtocol : public sim::Protocol {
   std::vector<std::uint8_t> statuses_read_;    // read STATUS this call
   std::vector<std::vector<ListEntry>> local_entries_;  // own adjacency list
   std::vector<std::vector<ListEntry>> list_queue_;     // outgoing DIE entries
+  // ultra-lint: lookup-only(per-vertex dedup set; insert/contains/clear only)
   std::vector<std::unordered_set<graph::VertexId>> seen_clusters_;
   std::vector<std::uint32_t> list_wait_;   // children yet to send ListEnd
   std::vector<std::uint8_t> list_mode_;    // in DIE list convergecast

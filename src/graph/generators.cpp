@@ -135,7 +135,12 @@ Graph preferential_attachment(VertexId n, std::uint32_t k, util::Rng& rng) {
       }
       if (target != v) chosen.insert(target);
     }
-    for (const VertexId t : chosen) {
+    // Drain `chosen` in sorted order: hash order would leak into both the
+    // edge list and the pool (which biases future degree-proportional
+    // draws), making the generated graph depend on the hash seed.
+    std::vector<VertexId> targets(chosen.begin(), chosen.end());
+    std::sort(targets.begin(), targets.end());
+    for (const VertexId t : targets) {
       edges.push_back(make_edge(v, t));
       pool.push_back(v);
       pool.push_back(t);

@@ -25,7 +25,16 @@ WeightedGraph WeightedGraph::from_edges(VertexId n,
     const auto it = best.find(key);
     if (it == best.end() || e.w < it->second) best[key] = e.w;
   }
-  for (const auto& [key, w] : best) {
+  // Materialize in sorted key order so adjacency construction (and m_
+  // accounting) never sees hash order; keys are unique, so the sort is a
+  // total order.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(best.size());
+  // NOLINTNEXTLINE(ultra-unordered-iter): collect-then-sort; order discarded
+  for (const auto& kv : best) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    const Weight w = best.at(key);
     const auto u = static_cast<VertexId>(key >> 32);
     const auto v = static_cast<VertexId>(key & 0xffffffffu);
     g.adj_[u].push_back(Arc{v, w});

@@ -80,8 +80,6 @@ class BfsFlood : public Protocol {
   VertexId root_;
   std::vector<std::uint32_t> dist_;
   std::vector<VertexId> parent_;
-  std::uint64_t quiet_rounds_ = 0;
-  std::uint64_t sends_last_round_ = 0;
 };
 
 }  // namespace ultra::sim

@@ -80,6 +80,7 @@ void Mailbox::send(VertexId to, std::span<const Word> payload) {
       << "Mailbox::send: " << self_ << " -> " << to
       << " is not a network link";
   if (payload.size() > net.cap_) {
+    // NOLINTNEXTLINE(ultra-check): MessageTooLong is documented API surface
     throw MessageTooLong("message of " + std::to_string(payload.size()) +
                          " words exceeds cap " + std::to_string(net.cap_));
   }
@@ -98,6 +99,7 @@ void Mailbox::send_all(std::span<const Word> payload) {
   const auto nbrs = neighbors();
   if (nbrs.empty()) return;
   if (payload.size() > net.cap_) {
+    // NOLINTNEXTLINE(ultra-check): MessageTooLong is documented API surface
     throw MessageTooLong("message of " + std::to_string(payload.size()) +
                          " words exceeds cap " + std::to_string(net.cap_));
   }

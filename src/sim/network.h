@@ -492,6 +492,7 @@ class Network {
     std::uint32_t len;
   };
   std::vector<DeliveryRec> recs_;
+  // ultra-lint: lookup-only(duplicate-send guard; insert/contains/clear only)
   std::unordered_set<std::uint64_t> occupied_;  // from * n + to, this barrier
 
   // --- worker pool (kParallel only; started lazily at the first run) ------

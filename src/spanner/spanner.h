@@ -56,7 +56,8 @@ class Spanner {
 
  private:
   const Graph* host_;
-  std::vector<Edge> edges_;
+  std::vector<Edge> edges_;  // insertion order — the observable edge sequence
+  // ultra-lint: lookup-only(dedup for add_edge; edges_ carries the order)
   std::unordered_set<std::uint64_t> keys_;
 };
 

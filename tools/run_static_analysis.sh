@@ -4,18 +4,21 @@
 #   1. format gate        tools/check_format.sh (no-diff under .clang-format)
 #   2. clang-tidy         over every src/**/*.cpp, using the committed
 #                         .clang-tidy; any warning fails (WarningsAsErrors)
-#   3. checked build+test warnings-as-errors ASan+UBSan build of the whole
+#   3. ultra-lint         the repo's own determinism / parallel-safety
+#                         analyzer (tools/ultra_lint) over src/ and tests/;
+#                         built from source here, so it never SKIPs
+#   4. checked build+test warnings-as-errors ASan+UBSan build of the whole
 #                         tree, then the full ctest suite (the `checked`
 #                         label's certificate suites included); any sanitizer
 #                         report aborts the test (-fno-sanitize-recover=all)
 #
 # Stages whose tool is missing from the environment are reported as SKIP and
 # do not fail the run (this repo builds in containers without LLVM); export
-# ULTRA_REQUIRE_TIDY=1 / ULTRA_REQUIRE_FORMAT=1 to harden a CI image that
-# ships them. Usage:
+# ULTRA_REQUIRE_TIDY=1 (alias: ULTRA_REQUIRE_CLANG_TIDY=1) and
+# ULTRA_REQUIRE_FORMAT=1 to harden a CI image that ships them. Usage:
 #
 #   tools/run_static_analysis.sh            # everything
-#   tools/run_static_analysis.sh --no-build # stages 1 and 2 only
+#   tools/run_static_analysis.sh --no-build # stages 1-3 only (no ASan build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,7 +52,7 @@ if command -v "$CLANG_TIDY" >/dev/null 2>&1; then
     echo "run_static_analysis: clang-tidy OK"
   fi
 else
-  if [[ "${ULTRA_REQUIRE_TIDY:-0}" == "1" ]]; then
+  if [[ "${ULTRA_REQUIRE_TIDY:-0}" == "1" || "${ULTRA_REQUIRE_CLANG_TIDY:-0}" == "1" ]]; then
     echo "run_static_analysis: FAIL — $CLANG_TIDY not found and ULTRA_REQUIRE_TIDY=1" >&2
     fail=1
   else
@@ -57,7 +60,22 @@ else
   fi
 fi
 
-# ---- 3. Checked build + tests (ASan+UBSan, -Werror) ------------------------
+# ---- 3. ultra-lint (determinism / parallel-safety rules) --------------------
+# Self-contained C++ (no LLVM dependency), so unlike clang-tidy this stage is
+# built from source on the spot and never SKIPs.
+LINT_DIR="${ULTRA_LINT_BUILD_DIR:-$ROOT/build-ultra-lint}"
+cmake -B "$LINT_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+if ! cmake --build "$LINT_DIR" --target ultra_lint -j "$JOBS" >/dev/null; then
+  echo "run_static_analysis: FAIL — ultra_lint failed to build" >&2
+  fail=1
+elif ! "$LINT_DIR/tools/ultra_lint/ultra_lint" --root "$ROOT" --audit src tests; then
+  echo "run_static_analysis: FAIL — ultra-lint reported findings" >&2
+  fail=1
+else
+  echo "run_static_analysis: ultra-lint OK"
+fi
+
+# ---- 4. Checked build + tests (ASan+UBSan, -Werror) ------------------------
 if [[ $RUN_BUILD -eq 1 ]]; then
   CHECKED_DIR="${ULTRA_CHECKED_BUILD_DIR:-$ROOT/build-checked}"
   cmake -B "$CHECKED_DIR" -S "$ROOT" \

@@ -1,0 +1,24 @@
+// Fixture: ULTRA_CHECK* discipline and rethrow pass ultra-check.
+#define ULTRA_CHECK_ARG(cond) \
+  if (!(cond)) fixture_stream()
+
+struct Sink {
+  template <typename T>
+  Sink& operator<<(const T&) {
+    return *this;
+  }
+};
+Sink& fixture_stream();
+
+int checked_div(int a, int b) {
+  ULTRA_CHECK_ARG(b != 0) << "divisor must be nonzero";
+  return a / b;
+}
+
+void passthrough(void (*f)()) {
+  try {
+    f();
+  } catch (...) {
+    throw;  // bare rethrow is allowed
+  }
+}

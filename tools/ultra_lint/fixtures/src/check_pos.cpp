@@ -1,0 +1,9 @@
+// Fixture: raw assert() and naked throw fire ultra-check.
+#include <cassert>
+#include <stdexcept>
+
+int checked_div(int a, int b) {
+  assert(b != 0);
+  if (b == 1) throw std::invalid_argument("degenerate divisor");
+  return a / b;
+}

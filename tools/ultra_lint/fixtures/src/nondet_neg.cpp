@@ -1,0 +1,18 @@
+// Fixture: explicit seeded randomness and member methods that merely share a
+// banned name do not fire ultra-nondet.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+struct Timer {
+  long time() const { return 0; }  // member named `time` is not ::time
+};
+
+std::uint64_t good_entropy(std::uint64_t seed) {
+  Rng rng{seed};
+  Timer t;
+  return rng.next() + static_cast<std::uint64_t>(t.time());
+}

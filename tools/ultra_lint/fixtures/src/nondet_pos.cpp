@@ -1,0 +1,17 @@
+// Fixture: every banned nondeterminism source fires ultra-nondet.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int bad_entropy() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+int bad_rand() { return rand(); }
+
+long bad_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+const char* bad_env() { return getenv("ULTRA_SEED"); }

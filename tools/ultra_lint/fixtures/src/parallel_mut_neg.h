@@ -1,0 +1,33 @@
+// Fixture: the three sanctioned mutation patterns pass ultra-parallel-mut —
+// lane-local (indexed by the node id), std::atomic, and guarded-by with the
+// lock actually taken. Locals and mutations outside node context are free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+struct Mailbox;
+
+class SafeProtocol : public Protocol {
+ public:
+  void on_round(Mailbox& mb) {
+    const std::uint64_t v = mb.self();
+    state_[v] = state_[v] + 1;                       // lane-local slot
+    done_.fetch_add(1, std::memory_order_relaxed);   // atomic
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.push_back(v);                               // guarded and locked
+  }
+
+  void on_round_begin(std::uint64_t round) {
+    epoch_ = round;  // simulator-thread hook, not reachable from on_round
+  }
+
+ private:
+  std::vector<std::uint64_t> state_;
+  std::atomic<std::uint64_t> done_{0};
+  std::mutex mu_;
+  std::vector<std::uint64_t> log_;  // ultra-lint: guarded-by(mu_)
+  std::uint64_t epoch_ = 0;
+};

@@ -1,0 +1,38 @@
+// Fixture: shared-state mutation reachable from on_round fires
+// ultra-parallel-mut — directly, through a helper, and when a guarded-by
+// annotation exists but the mutating method never takes the lock. A
+// guarded-by naming a non-mutex also fires at the declaration.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+struct Mailbox;
+
+class RacyProtocol : public Protocol {
+ public:
+  void on_round(Mailbox& mb) {
+    total_ += 1;    // plain shared counter: race under kParallel
+    helper();
+  }
+
+ private:
+  void helper() { rounds_ = rounds_ + 1; }  // reachable mutation
+
+  std::uint64_t total_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+class ForgotTheLock : public Protocol {
+ public:
+  void on_round(Mailbox& mb) {
+    log_.push_back(1);  // guarded-by declared, but no lock taken here
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> log_;  // ultra-lint: guarded-by(mu_)
+  int bogus_ = 0;         // ultra-lint: guarded-by(not_a_mutex_)
+  int not_a_mutex_ = 0;
+};

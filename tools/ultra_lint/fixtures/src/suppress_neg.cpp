@@ -1,0 +1,8 @@
+// Fixture: a suppression with a real rule id and a reason is honored — the
+// finding moves to the audit list and the file is otherwise clean.
+#include <cassert>
+
+int justified(int b) {
+  assert(b != 0);  // NOLINT(ultra-check): fixture exercising justified syntax
+  return b;
+}

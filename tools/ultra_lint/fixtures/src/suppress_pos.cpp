@@ -1,0 +1,11 @@
+// Fixture: reasonless and unknown-rule suppressions fire ultra-suppress, and
+// a reasonless NOLINT does NOT hide the finding it points at.
+#include <cassert>
+
+int reasonless(int b) {
+  assert(b != 0);  // NOLINT(ultra-check)
+  return b;
+}
+
+// NOLINTNEXTLINE(ultra-made-up-rule): the rule id does not exist
+int unknown_rule(int b) { return b; }

@@ -1,0 +1,30 @@
+// Fixture: lookups into unordered containers and ordered iteration are fine.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+int lookups_only(const std::unordered_map<int, int>& counts) {
+  const auto it = counts.find(1);
+  return it == counts.end() ? 0 : it->second;
+}
+
+int ordered_iteration() {
+  std::map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}
+
+std::vector<int> sorted_collect() {
+  std::unordered_map<int, int> counts;
+  counts[2] = 1;
+  counts[1] = 1;
+  std::vector<int> keys;
+  keys.reserve(counts.size());
+  // NOLINTNEXTLINE(ultra-unordered-iter): collect-then-sort; order discarded
+  for (const auto& kv : counts) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

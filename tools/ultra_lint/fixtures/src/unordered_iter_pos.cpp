@@ -1,0 +1,20 @@
+// Fixture: iterating an unordered container fires ultra-unordered-iter.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int iterate_local() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}
+
+int iterate_iterator_style() {
+  std::unordered_set<int> seen;
+  seen.insert(3);
+  int total = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) total += *it;
+  return total;
+}

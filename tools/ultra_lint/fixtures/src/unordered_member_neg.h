@@ -1,0 +1,20 @@
+// Fixture: annotated membership-only unordered members pass.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+class DedupLog {
+ public:
+  bool add(std::uint64_t key) {
+    if (!seen_.insert(key).second) return false;
+    order_.push_back(key);
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> order_;  // carries the observable order
+  // ultra-lint: lookup-only(dedup guard; order_ carries the sequence)
+  std::unordered_set<std::uint64_t> seen_;
+};

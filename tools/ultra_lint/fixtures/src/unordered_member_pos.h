@@ -1,0 +1,27 @@
+// Fixture: an unannotated unordered member fires ultra-unordered-member, and
+// a lookup-only member that is nonetheless iterated fires too.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+class UnannotatedCache {
+ public:
+  void put(int k, int v) { table_[k] = v; }
+
+ private:
+  std::unordered_map<int, int> table_;
+};
+
+class LyingAnnotation {
+ public:
+  int total() const {
+    int sum = 0;
+    for (const int v : members_) sum += v;
+    return sum;
+  }
+
+ private:
+  // ultra-lint: lookup-only(claims membership-only but total() iterates it)
+  std::unordered_set<int> members_;
+};

@@ -1,0 +1,184 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace ultra::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators emitted as single tokens, longest first, so
+// `::` never splits (rule code walks qualified names) and `==`/`+=` are
+// distinguishable from `=`.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "==", "!=", "<=",
+    ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<", ">>",
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  LexedFile out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_token = false;  // any non-comment content on current line
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        line_has_token = false;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+
+    if (c == '\\' && i + 1 < n && source[i + 1] == '\n') {  // continuation
+      advance(2);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const int start_line = line;
+      const bool own = !line_has_token;
+      std::size_t j = i + 2;
+      while (j < n && source[j] != '\n') ++j;
+      out.comments.push_back(
+          {start_line, trim(source.substr(i + 2, j - i - 2)), own});
+      advance(j - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      const bool own = !line_has_token;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) ++j;
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      out.comments.push_back(
+          {start_line, trim(source.substr(i + 2, j - i - 2)), own});
+      advance(end - i);
+      continue;
+    }
+
+    // Preprocessor directive: record #include "..." targets, drop the rest.
+    if (c == '#' && !line_has_token) {
+      std::size_t j = i;
+      std::string directive;
+      while (j < n && source[j] != '\n') {
+        if (source[j] == '\\' && j + 1 < n && source[j + 1] == '\n') {
+          j += 2;
+          continue;
+        }
+        directive.push_back(source[j]);
+        ++j;
+      }
+      const std::size_t inc = directive.find("include");
+      if (inc != std::string::npos) {
+        const std::size_t q1 = directive.find('"', inc);
+        if (q1 != std::string::npos) {
+          const std::size_t q2 = directive.find('"', q1 + 1);
+          if (q2 != std::string::npos) {
+            out.includes.push_back(directive.substr(q1 + 1, q2 - q1 - 1));
+          }
+        }
+      }
+      advance(j - i);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(') delim.push_back(source[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = source.find(closer, j);
+      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+      out.tokens.push_back({TokKind::kString, "", line});
+      line_has_token = true;
+      advance(stop - i);
+      continue;
+    }
+
+    // String / char literals (contents dropped).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, "", line});
+      line_has_token = true;
+      advance(j < n ? j - i + 1 : n - i);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(source[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, source.substr(i, j - i), line});
+      line_has_token = true;
+      advance(j - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(source[j]) || source[j] == '.' ||
+                       ((source[j] == '+' || source[j] == '-') && j > i &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                         source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, source.substr(i, j - i), line});
+      line_has_token = true;
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    std::size_t matched = 1;
+    std::string text(1, c);
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (i + len <= n && source.compare(i, len, p) == 0) {
+        matched = len;
+        text.assign(p);
+        break;
+      }
+    }
+    out.tokens.push_back({TokKind::kPunct, text, line});
+    line_has_token = true;
+    advance(matched);
+  }
+
+  out.tokens.push_back({TokKind::kEnd, "", line});
+  return out;
+}
+
+}  // namespace ultra::lint
