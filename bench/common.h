@@ -234,8 +234,15 @@ inline std::string sim_transport_json(const SimTransportOptions& opt) {
       .field("n", std::uint64_t{opt.n})
       .field("m", opt.m)
       .field("seed", opt.seed);
+  // Transport aggregation parameters: how sends are coalesced before the
+  // barrier. Recorded so perf trends can be matched to the shard geometry
+  // that produced them (ultra.bench_sim.v3 addition).
+  JsonObject aggregation;
+  aggregation.field("mode", std::string("dest_sharded_soa"))
+      .field("dest_shard_bits", std::uint64_t{sim::kDestShardBits})
+      .field("shard_size", std::uint64_t{sim::kDestShardSize});
   JsonObject record;
-  record.field("schema", std::string("ultra.bench_sim.v2"))
+  record.field("schema", std::string("ultra.bench_sim.v3"))
       .field("bench", std::string("sim_transport"))
       .field("cpu_cores", std::uint64_t{detected_cpu_cores()})
       .raw("workload", workload.str())
@@ -249,6 +256,7 @@ inline std::string sim_transport_json(const SimTransportOptions& opt) {
                              : "sequential"))
       .field("threads", std::uint64_t{resolved_threads})
       .field("message_cap", opt.cap)
+      .raw("aggregation", aggregation.str())
       .field("repeats", std::uint64_t(opt.repeats))
       .field("rounds", total.rounds)
       .field("messages", total.messages)

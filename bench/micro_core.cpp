@@ -176,6 +176,31 @@ void BM_NetworkPingAll(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkPingAll)->Arg(10000)->Arg(100000);
 
+// The round barrier in isolation: every node broadcasts its id (2m pending
+// messages), then the timed region runs only the destination-shard merge,
+// counting scatter, digest fold, strict audit and worklist rebuild — the
+// kernel BM_NetworkBfsFlood amortizes over a whole protocol run. The fill
+// phase is untimed (PauseTiming), so items/s is barrier messages/s.
+void BM_DeliverOutboxes(benchmark::State& state) {
+  const auto g = make_graph(state.range(0));
+  sim::Network net(g, 1);
+  const graph::VertexId n = g.num_vertices();
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::detail::BarrierBench::begin_round(net);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      sim::Mailbox mb(net, v);
+      mb.send_all({sim::Word{v}});
+    }
+    state.ResumeTiming();
+    sim::detail::BarrierBench::deliver(net);
+    msgs += 2 * g.num_edges();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+}
+BENCHMARK(BM_DeliverOutboxes)->Arg(10000)->Arg(100000);
+
 // Supervised-construction driver: build a certified spanner of the workload
 // under a fault plan, degrading along the fallback chain, and print one JSON
 // provenance record.

@@ -46,20 +46,6 @@ std::uint64_t Mailbox::message_cap() const noexcept {
   return net_.message_cap();
 }
 
-// Rebuild the lane's neighbor-index table for sender v: after this, "is w
-// adjacent to v" and "at which adjacency position" are O(1) lookups.
-// Amortized O(1) per send — the O(deg v) build happens at most once per
-// activation and is skipped entirely by send_all.
-void Network::index_neighbors_of(detail::Lane& lane, VertexId v) {
-  ++lane.cur_epoch;
-  const auto nbrs = graph_.neighbors(v);
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    lane.nbr_pos[nbrs[i]] = static_cast<std::uint32_t>(i);
-    lane.nbr_epoch[nbrs[i]] = lane.cur_epoch;
-  }
-  lane.indexed_sender = v;
-}
-
 // One message per neighbor per round: the directed arc's stamp must not
 // already carry this round's epoch. Arc blocks are per-sender and a sender
 // activates on exactly one lane, so concurrent workers stamp disjoint slots.
@@ -74,9 +60,15 @@ void Network::stamp_arc_or_reject(VertexId from, VertexId to,
 void Mailbox::send(VertexId to, std::span<const Word> payload) {
   Network& net = net_;
   detail::Lane& lane = *lane_;
-  if (lane.indexed_sender != self_) net.index_neighbors_of(lane, self_);
-  ULTRA_CHECK_ARG(to < lane.nbr_epoch.size() &&
-                  lane.nbr_epoch[to] == lane.cur_epoch)
+  // Link check by binary search over the sender's own adjacency list: the
+  // list is contiguous, sorted, and typically already cache-hot because the
+  // protocol code just walked it to pick `to`. The match position doubles as
+  // the directed-arc offset inside the sender's arc block. Covers every
+  // invalid target uniformly (out of range, non-neighbor, self).
+  const auto nbrs = net.graph_.neighbors(self_);
+  const VertexId* pos =
+      std::lower_bound(nbrs.data(), nbrs.data() + nbrs.size(), to);
+  ULTRA_CHECK_ARG(pos != nbrs.data() + nbrs.size() && *pos == to)
       << "Mailbox::send: " << self_ << " -> " << to
       << " is not a network link";
   if (payload.size() > net.cap_) {
@@ -84,13 +76,19 @@ void Mailbox::send(VertexId to, std::span<const Word> payload) {
     throw MessageTooLong("message of " + std::to_string(payload.size()) +
                          " words exceeds cap " + std::to_string(net.cap_));
   }
-  net.stamp_arc_or_reject(self_, to,
-                          net.arc_base_[self_] + lane.nbr_pos[to]);
+  net.stamp_arc_or_reject(
+      self_, to,
+      net.arc_base_[self_] + static_cast<std::uint64_t>(pos - nbrs.data()));
   const std::uint64_t off = lane.arena.size();
-  lane.arena.insert(lane.arena.end(), payload.begin(), payload.end());
+  if (payload.size() == 1) {
+    lane.arena.push_back(payload.front());
+  } else {
+    lane.arena.insert(lane.arena.end(), payload.begin(), payload.end());
+  }
   lane.tally.note_message(payload.size());
-  lane.pending.push_back(detail::PendingSend{
-      self_, to, static_cast<std::uint32_t>(payload.size()), off});
+  lane.out[to >> kDestShardBits].push(
+      self_, to, static_cast<std::uint32_t>(payload.size()), off);
+  ++lane.pending_count;
 }
 
 void Mailbox::send_all(std::span<const Word> payload) {
@@ -108,14 +106,21 @@ void Mailbox::send_all(std::span<const Word> payload) {
   // per-recipient link validation is needed, and the directed-arc ids are
   // just consecutive slots of the sender's arc block.
   const std::uint64_t off = lane.arena.size();
-  lane.arena.insert(lane.arena.end(), payload.begin(), payload.end());
+  if (payload.size() == 1) {
+    lane.arena.push_back(payload.front());
+  } else {
+    lane.arena.insert(lane.arena.end(), payload.begin(), payload.end());
+  }
   const std::uint64_t base = net.arc_base_[self_];
   const auto len = static_cast<std::uint32_t>(payload.size());
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
     net.stamp_arc_or_reject(self_, nbrs[i], base + i);
     lane.tally.note_message(payload.size());
-    lane.pending.push_back(detail::PendingSend{self_, nbrs[i], len, off});
+    // Neighbors ascend, so the target shard index is non-decreasing across
+    // the loop — the appends walk the shard buffers front to back.
+    lane.out[nbrs[i] >> kDestShardBits].push(self_, nbrs[i], len, off);
   }
+  lane.pending_count += nbrs.size();
 }
 
 void Mailbox::stay_awake() {
@@ -144,10 +149,11 @@ Network::Network(const graph::Graph& g, std::uint64_t message_cap,
   }
   arc_stamp_.assign(arc_base_[n], 0);
 
+  shard_count_ = std::max<std::size_t>(
+      1, (static_cast<std::size_t>(n) + kDestShardSize - 1) >> kDestShardBits);
   lanes_.resize(resolve_threads(exec, threads));
   for (detail::Lane& lane : lanes_) {
-    lane.nbr_pos.assign(n, 0);
-    lane.nbr_epoch.assign(n, 0);
+    lane.out.resize(shard_count_);
   }
 }
 
@@ -158,9 +164,10 @@ Network::~Network() { stop_pool(); }
 // neighbor, and every payload must respect the declared word cap. Catches
 // simulator bugs (mis-routed, duplicated or mis-ordered deliveries — the
 // delivery scatter no longer sorts, so inbox order is an audited invariant
-// of activation order, not a post-processing step) as well as protocol code
-// that somehow bypassed Mailbox::send. Deliberately uses the graph's own
-// binary-search has_edge rather than the transport's arc tables.
+// of the shard merge order, not a post-processing step) as well as protocol
+// code that somehow bypassed Mailbox::send. Deliberately uses the graph's
+// own binary-search has_edge rather than the transport's arc tables. This is
+// the slow diagnostic path; audit_delivered_range below is the hot one.
 void Network::audit_inbox(VertexId v) const {
   VertexId prev = graph::kInvalidVertex;
   for (std::uint32_t i = 0; i < in_count_[v]; ++i) {
@@ -178,13 +185,49 @@ void Network::audit_inbox(VertexId v) const {
   }
 }
 
+// The strict audit's hot path, run at the barrier over the freshly built CSR
+// slices while they are cache resident. Per receiver it is one linear merge
+// of the (ascending) inbox senders against the (ascending) adjacency list —
+// sortedness, link validity and the word cap accumulate into a single flag
+// with no per-message branching — so the whole pass is O(inbox + degree)
+// streaming reads. The audit stays independent of the send-time arc tables:
+// membership comes from the graph's own adjacency arrays.
+void Network::audit_delivered_range(std::size_t begin, std::size_t end) const {
+  for (std::size_t i = begin; i < end; ++i) {
+    const VertexId v = receivers_[i];
+    const auto nbrs = graph_.neighbors(v);
+    const VertexId* np = nbrs.data();
+    const VertexId* const ne = np + nbrs.size();
+    const std::uint64_t head = in_head_[v];
+    std::int64_t prev = -1;
+    bool ok = true;
+    for (std::uint32_t k = 0; k < in_count_[v]; ++k) {
+      const MessageView& m = in_msgs_[head + k];
+      ok &= static_cast<std::int64_t>(m.from) > prev;
+      prev = m.from;
+      while (np != ne && *np < m.from) ++np;
+      ok &= np != ne && *np == m.from;
+      ok &= m.payload.size() <= cap_;
+    }
+    if (!ok) {
+      audit_inbox(v);  // rebuilds the precise diagnostic and throws
+      ULTRA_CHECK(false) << "strict audit: inbox of " << v
+                         << " failed the merge scan at round "
+                         << metrics_.rounds;
+    }
+  }
+}
+
 // Barrier: move this round's queued sends into the delivered (inbox) state.
 // Each lane's payload arena is swapped (not copied) into its delivered slot;
-// inboxes become CSR slices of one flat MessageView array, built by a stable
-// counting scatter over the concatenated send logs. Lanes are merged in
-// shard order and each lane recorded its sends in activation order, so the
-// combined log is in increasing sender id — each receiver's slice comes out
-// sorted by sender without any sort, exactly as in the sequential path.
+// inboxes become CSR slices of one flat MessageView array, built shard by
+// shard: destination shards are contiguous id ranges, so walking them in
+// order visits receivers ascending, and within a shard the (lane, entry)
+// order concatenates the lanes' send logs — ascending sender id — so the
+// stable counting scatter yields sender-sorted inboxes with no sort and a
+// per-shard working set (counters, cursors, CSR slice) that stays cache
+// resident at any n. The digest fold and the strict audit run per shard,
+// immediately after its scatter, on the same hot lines.
 void Network::deliver_outboxes() {
   for (const VertexId v : receivers_) in_count_[v] = 0;
   receivers_.clear();
@@ -193,7 +236,8 @@ void Network::deliver_outboxes() {
   for (detail::Lane& lane : lanes_) {
     lane.arena.swap(lane.delivered);
     lane.arena.clear();
-    delivered += lane.pending.size();
+    delivered += lane.pending_count;
+    lane.pending_count = 0;
     metrics_.messages += lane.tally.messages;
     metrics_.total_words += lane.tally.total_words;
     if (lane.tally.max_message_words > metrics_.max_message_words) {
@@ -202,43 +246,84 @@ void Network::deliver_outboxes() {
     lane.tally.messages = 0;
     lane.tally.total_words = 0;
     lane.tally.max_message_words = 0;
-    for (const detail::PendingSend& p : lane.pending) {
-      if (pend_count_[p.to]++ == 0) receivers_.push_back(p.to);
-    }
   }
-  std::sort(receivers_.begin(), receivers_.end());
-
   in_msgs_.resize(delivered);
-  std::uint64_t pos = 0;
-  for (const VertexId v : receivers_) {
-    in_head_[v] = pos;
-    in_count_[v] = pend_count_[v];
-    cursor_[v] = pos;
-    pos += pend_count_[v];
-    pend_count_[v] = 0;
-  }
-  for (detail::Lane& lane : lanes_) {
-    for (const detail::PendingSend& p : lane.pending) {
-      in_msgs_[cursor_[p.to]++] =
-          MessageView{p.from, {lane.delivered.data() + p.off, p.len}};
-    }
-    lane.pending.clear();
-  }
-  delivered_last_round_ = delivered;
 
-  // Fold the delivered trace receiver-major (ascending receiver, ascending
-  // sender within a receiver) — the exact order the digest has always used.
-  for (const VertexId v : receivers_) {
-    const std::uint64_t head = in_head_[v];
-    for (std::uint32_t i = 0; i < in_count_[v]; ++i) {
-      const MessageView& m = in_msgs_[head + i];
-      metrics_.fold(metrics_.rounds);
-      metrics_.fold(m.from);
-      metrics_.fold(v);
-      metrics_.fold(m.payload.size());
-      for (const Word w : m.payload) metrics_.fold(w);
+  const std::uint64_t round_word = metrics_.rounds;
+  std::uint64_t digest = metrics_.trace_digest;
+  const auto fold = [&digest](std::uint64_t w) {
+    digest = (digest ^ w) * 1099511628211ull;
+  };
+  std::uint64_t pos = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    bool empty = true;
+    for (const detail::Lane& lane : lanes_) empty &= lane.out[s].empty();
+    if (empty) continue;
+
+    // Count pass: per-receiver tallies plus the set of touched receivers.
+    const std::size_t recv_begin = receivers_.size();
+    for (detail::Lane& lane : lanes_) {
+      for (const VertexId d : lane.out[s].dst) {
+        if (pend_count_[d]++ == 0) receivers_.push_back(d);
+      }
+    }
+    // Order the shard's receivers ascending: sort when sparse, rebuild by
+    // scanning the shard's id range when dense (branch-light, already
+    // sorted). Either way the global receivers_ list stays ascending
+    // because shards are visited in increasing id-range order.
+    const auto lo = static_cast<VertexId>(s << kDestShardBits);
+    const VertexId hi =
+        std::min<VertexId>(num_nodes(), lo + kDestShardSize);
+    if ((receivers_.size() - recv_begin) * 4 >=
+        static_cast<std::size_t>(hi - lo)) {
+      receivers_.resize(recv_begin);
+      for (VertexId v = lo; v < hi; ++v) {
+        if (pend_count_[v] != 0) receivers_.push_back(v);
+      }
+    } else {
+      std::sort(receivers_.begin() + static_cast<std::ptrdiff_t>(recv_begin),
+                receivers_.end());
+    }
+    // Prefix pass: CSR heads and scatter cursors for this shard.
+    for (std::size_t i = recv_begin; i < receivers_.size(); ++i) {
+      const VertexId v = receivers_[i];
+      in_head_[v] = pos;
+      in_count_[v] = pend_count_[v];
+      cursor_[v] = pos;
+      pos += pend_count_[v];
+      pend_count_[v] = 0;
+    }
+    // Scatter pass: stable over (lane, entry) order, i.e. ascending sender.
+    for (detail::Lane& lane : lanes_) {
+      detail::ShardOutbox& ob = lane.out[s];
+      const Word* base = lane.delivered.data();
+      for (std::size_t i = 0; i < ob.dst.size(); ++i) {
+        in_msgs_[cursor_[ob.dst[i]]++] =
+            MessageView{ob.from[i], {base + ob.off[i], ob.words[i]}};
+      }
+      ob.clear();
+    }
+    // Fold the shard's slice of the trace receiver-major (ascending
+    // receiver, ascending sender within a receiver) — concatenated across
+    // shards this is the exact order the digest has always used.
+    for (std::size_t i = recv_begin; i < receivers_.size(); ++i) {
+      const VertexId v = receivers_[i];
+      const std::uint64_t head = in_head_[v];
+      for (std::uint32_t k = 0; k < in_count_[v]; ++k) {
+        const MessageView& m = in_msgs_[head + k];
+        fold(round_word);
+        fold(m.from);
+        fold(v);
+        fold(m.payload.size());
+        for (const Word w : m.payload) fold(w);
+      }
+    }
+    if (audit_ == AuditMode::kStrict) {
+      audit_delivered_range(recv_begin, receivers_.size());
     }
   }
+  metrics_.trace_digest = digest;
+  delivered_last_round_ = delivered;
 }
 
 // Next round's worklist: nodes with mail plus explicit stay_awake()
@@ -270,13 +355,13 @@ void Network::reset_transport() {
   for (detail::Lane& lane : lanes_) {
     lane.arena.clear();
     lane.delivered.clear();
-    lane.pending.clear();
+    for (detail::ShardOutbox& ob : lane.out) ob.clear();
+    lane.pending_count = 0;
     for (const VertexId v : lane.awake) awake_flag_[v] = 0;
     lane.awake.clear();
     lane.tally.messages = 0;
     lane.tally.total_words = 0;
     lane.tally.max_message_words = 0;
-    lane.indexed_sender = graph::kInvalidVertex;
   }
 
   active_.resize(num_nodes());
@@ -284,8 +369,10 @@ void Network::reset_transport() {
 }
 
 // Activate a contiguous, ascending slice of the worklist through one lane.
-// Both executors funnel through this function, so the per-node sequence —
-// strict audit, then on_round — is identical by construction.
+// Both executors funnel through this function, so the per-node sequence is
+// identical by construction. The inbox contents were already strict-audited
+// at the barrier that delivered them (audit_delivered_range); here the
+// strict mode checks the remaining activation-order invariant.
 void Network::run_shard(Protocol& protocol, detail::Lane& lane,
                         const VertexId* ids, std::size_t count,
                         VertexId audit_prev) {
@@ -298,7 +385,6 @@ void Network::run_shard(Protocol& protocol, detail::Lane& lane,
           << "activation order regressed at node " << v << " round "
           << metrics_.rounds;
       last_activated = v;
-      audit_inbox(v);
     }
     Mailbox mb(*this, v, &lane);
     protocol.on_round(mb);
@@ -460,220 +546,9 @@ RunOutcome Network::run_outcome(Protocol& protocol,
   return out;
 }
 
-// Expand the plan's crash intervals into sorted (round, node) event lists.
-// Cursors skip events scheduled before the network's current round, so a
-// reused network never replays stale hooks (plans are documented for fresh
-// networks; this just keeps reuse well-defined).
-void Network::prepare_fault_run() {
-  delayed_.clear();
-  matured_.clear();
-  crash_events_.clear();
-  restart_events_.clear();
-  const VertexId n = num_nodes();
-  for (VertexId v = 0; v < n; ++v) {
-    const CrashInterval iv = plan_->crash_interval(v);
-    if (!iv.crashes()) continue;
-    crash_events_.push_back({iv.begin, v});
-    if (iv.restarts()) restart_events_.push_back({iv.end, v});
-  }
-  const auto by_round_node = [](const detail::FaultEvent& a,
-                                const detail::FaultEvent& b) {
-    return a.round < b.round || (a.round == b.round && a.node < b.node);
-  };
-  std::sort(crash_events_.begin(), crash_events_.end(), by_round_node);
-  std::sort(restart_events_.begin(), restart_events_.end(), by_round_node);
-  crash_cursor_ = 0;
-  restart_cursor_ = 0;
-  while (crash_cursor_ < crash_events_.size() &&
-         crash_events_[crash_cursor_].round < metrics_.rounds) {
-    ++crash_cursor_;
-  }
-  while (restart_cursor_ < restart_events_.size() &&
-         restart_events_[restart_cursor_].round < metrics_.rounds) {
-    ++restart_cursor_;
-  }
-}
-
-// Fire the crash/restart notifications taking effect this round, on the
-// simulator thread, before on_round_begin. The worklist consequences were
-// already applied when this round's worklist was built; these calls let the
-// protocol repair its own state.
-void Network::apply_fault_events(Protocol& protocol) {
-  const std::uint64_t r = metrics_.rounds;
-  while (crash_cursor_ < crash_events_.size() &&
-         crash_events_[crash_cursor_].round <= r) {
-    const VertexId v = crash_events_[crash_cursor_++].node;
-    ++metrics_.faults.crashed;
-    protocol.on_crash(*this, v);
-  }
-  while (restart_cursor_ < restart_events_.size() &&
-         restart_events_[restart_cursor_].round <= r) {
-    const VertexId v = restart_events_[restart_cursor_++].node;
-    ++metrics_.faults.restarted;
-    protocol.on_restart(*this, v);
-  }
-}
-
-bool Network::fault_work_pending() const noexcept {
-  return !delayed_.empty() || restart_cursor_ < restart_events_.size();
-}
-
-// The faulty barrier. Same contract as deliver_outboxes — move this round's
-// sends into CSR inboxes — but every send first passes through the plan
-// (link outage, fate draw, receiver liveness), and messages deferred by
-// earlier rounds mature here. The final record list is sorted by
-// (receiver, sender): the one-copy-per-arc-per-round invariant makes that
-// order strict, so the strict audit's sorted-inbox and activation-order
-// checks hold under faults exactly as without them. All of this runs on the
-// simulator thread; fault decisions are pure functions of the plan, so the
-// counters and the digest are identical in every execution mode.
-void Network::deliver_outboxes_faulty() {
-  const std::uint64_t r = metrics_.rounds;
-  const auto arc_key = [this](VertexId from, VertexId to) {
-    return static_cast<std::uint64_t>(from) * num_nodes() + to;
-  };
-  for (const VertexId v : receivers_) in_count_[v] = 0;
-  receivers_.clear();
-  matured_.clear();  // the previous round's matured payloads die here
-  recs_.clear();
-  occupied_.clear();
-
-  for (detail::Lane& lane : lanes_) {
-    lane.arena.swap(lane.delivered);
-    lane.arena.clear();
-    // Send-side costs are charged whether or not the copy survives: the
-    // protocol spent the bandwidth either way.
-    metrics_.messages += lane.tally.messages;
-    metrics_.total_words += lane.tally.total_words;
-    if (lane.tally.max_message_words > metrics_.max_message_words) {
-      metrics_.max_message_words = lane.tally.max_message_words;
-    }
-    lane.tally.messages = 0;
-    lane.tally.total_words = 0;
-    lane.tally.max_message_words = 0;
-    for (const detail::PendingSend& p : lane.pending) {
-      const Word* data = lane.delivered.data() + p.off;
-      if (plan_->link_down(p.from, p.to, r)) {
-        ++metrics_.faults.dropped;
-        continue;
-      }
-      const FateDecision fate = plan_->message_fate(r, p.from, p.to);
-      using Kind = FateDecision::Kind;
-      if (fate.kind == Kind::kDrop) {
-        ++metrics_.faults.dropped;
-        continue;
-      }
-      if (fate.kind == Kind::kDelay || fate.kind == Kind::kDuplicate) {
-        (fate.kind == Kind::kDelay ? metrics_.faults.delayed
-                                   : metrics_.faults.duplicated)++;
-        delayed_.push_back(detail::DelayedMsg{
-            r + fate.delay_rounds, p.from, p.to,
-            std::vector<Word>(data, data + p.len)});
-        if (fate.kind == Kind::kDelay) continue;
-      }
-      // A receiver that is down when the message would arrive (consumption
-      // round r + 1) loses it; a duplicate's deferred copy is already in
-      // flight and may still land after a restart.
-      if (plan_->node_crashed(p.to, r + 1)) {
-        ++metrics_.faults.dropped;
-        continue;
-      }
-      recs_.push_back(DeliveryRec{p.from, p.to, data, p.len});
-      occupied_.insert(arc_key(p.from, p.to));
-    }
-    lane.pending.clear();
-  }
-
-  // Mature deferred messages due at this barrier, in their (deterministic)
-  // insertion order. A matured copy whose (from, to) arc already delivers
-  // this round — a fresh send or an earlier matured copy — slips one more
-  // round, preserving one message per arc per round (and with it the strict
-  // audit's strictly-sorted inboxes).
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < delayed_.size(); ++i) {
-    detail::DelayedMsg& dm = delayed_[i];
-    bool retain = true;
-    if (dm.due == r) {
-      if (plan_->node_crashed(dm.to, r + 1)) {
-        ++metrics_.faults.dropped;
-        retain = false;
-      } else {
-        const std::uint64_t key = arc_key(dm.from, dm.to);
-        if (occupied_.contains(key)) {
-          dm.due = r + 1;  // arc busy this round; slip once more
-        } else {
-          occupied_.insert(key);
-          matured_.push_back(std::move(dm));
-          retain = false;
-        }
-      }
-    }
-    if (retain) {
-      // Guard against self-move-assignment: moving delayed_[i] onto itself
-      // would empty the payload vector it is supposed to keep.
-      if (keep != i) delayed_[keep] = std::move(dm);
-      ++keep;
-    }
-  }
-  delayed_.resize(keep);
-  for (const detail::DelayedMsg& dm : matured_) {
-    recs_.push_back(DeliveryRec{dm.from, dm.to, dm.payload.data(),
-                                static_cast<std::uint32_t>(dm.payload.size())});
-  }
-
-  // Receiver-major, sender-ascending — the exact order the fault-free
-  // scatter produces and the digest has always folded. Keys are unique by
-  // the occupancy check above, so the order is strict.
-  std::sort(recs_.begin(), recs_.end(),
-            [](const DeliveryRec& a, const DeliveryRec& b) {
-              return a.to < b.to || (a.to == b.to && a.from < b.from);
-            });
-
-  in_msgs_.resize(recs_.size());
-  for (std::size_t i = 0; i < recs_.size(); ++i) {
-    const DeliveryRec& rec = recs_[i];
-    if (i == 0 || recs_[i - 1].to != rec.to) {
-      receivers_.push_back(rec.to);
-      in_head_[rec.to] = i;
-    }
-    ++in_count_[rec.to];
-    in_msgs_[i] = MessageView{rec.from, {rec.data, rec.len}};
-    metrics_.fold(metrics_.rounds);
-    metrics_.fold(rec.from);
-    metrics_.fold(rec.to);
-    metrics_.fold(rec.len);
-    for (std::uint32_t w = 0; w < rec.len; ++w) metrics_.fold(rec.data[w]);
-  }
-  delivered_last_round_ = recs_.size();
-}
-
-// Crash-aware worklist: the fault-free merge, minus nodes that are down
-// next round, plus nodes whose restart takes effect next round (force-woken
-// so protocols re-engage them even if nobody messaged them).
-void Network::rebuild_worklist_faulty() {
-  rebuild_worklist();
-  const std::uint64_t next = metrics_.rounds + 1;
-  std::erase_if(active_, [&](VertexId v) {
-    return plan_->node_crashed(v, next);
-  });
-  // Peek (without consuming — apply_fault_events owns the cursor) at the
-  // restarts taking effect next round; the event list is (round, node)
-  // sorted, so the slice is ascending in node id.
-  awake_merged_.clear();
-  for (std::size_t c = restart_cursor_; c < restart_events_.size() &&
-                                        restart_events_[c].round <= next;
-       ++c) {
-    if (restart_events_[c].round == next) {
-      awake_merged_.push_back(restart_events_[c].node);
-    }
-  }
-  if (!awake_merged_.empty()) {
-    std::vector<VertexId> merged;
-    merged.reserve(active_.size() + awake_merged_.size());
-    std::set_union(active_.begin(), active_.end(), awake_merged_.begin(),
-                   awake_merged_.end(), std::back_inserter(merged));
-    active_.swap(merged);
-  }
-}
+// The fault-path barrier and worklist counterparts (prepare_fault_run,
+// apply_fault_events, deliver_outboxes_faulty, rebuild_worklist_faulty,
+// fault_work_pending) live in sim/faults.cpp, next to the FaultPlan hash
+// streams every fault decision draws from.
 
 }  // namespace ultra::sim

@@ -29,22 +29,29 @@
 //
 // Transport layout (see DESIGN.md, "Simulator memory layout"): payloads live
 // in per-lane bump arenas (two Word buffers swapped at delivery; a broadcast
-// stores its payload once), inboxes are CSR slices over one flat MessageView
-// array rebuilt per round by a stable counting scatter, the round loop walks
-// a sorted active-node worklist instead of scanning all n nodes, and per-send
-// discipline (real link, one message per neighbor per round) is enforced
-// through a per-lane neighbor-index table plus per-directed-edge round stamps
-// — no hashing, no per-message allocation.
+// stores its payload once), and sends coalesce into per-lane,
+// per-destination-shard outboxes in structure-of-arrays layout (parallel
+// dst / from / words / payload-offset arrays, appended in send order). The
+// round barrier merges shards in (shard, lane) order — shards are contiguous
+// destination ranges, so the merge is receiver-major — and rebuilds the CSR
+// inboxes (slices over one flat MessageView array) with a stable counting
+// scatter whose working set is one shard of receivers at a time, i.e. cache
+// resident. The round loop walks a sorted active-node worklist instead of
+// scanning all n nodes, and per-send discipline (real link, one message per
+// neighbor per round) is enforced through a per-lane neighbor-index table
+// plus per-directed-edge round stamps — no hashing, no per-message
+// allocation.
 //
 // Strict audit mode (the default) double-checks the discipline from the
 // receiving side: at every delivery the network re-verifies — independently
 // of the send-time checks — that each message travelled along a real link,
 // respected the declared word cap, and that inboxes arrive sorted by sender
-// with node activations in strictly increasing id order. Violations raise
-// check::CheckError. Every run also folds (round, sender, receiver, payload)
-// into Metrics::trace_digest, a replay fingerprint: two runs are
-// byte-identical in their communication iff their digests, rounds and message
-// counts agree.
+// with node activations in strictly increasing id order. The link/sortedness
+// scan is a branch-light merge over the flat delivered arrays, run at the
+// barrier while the shard is cache hot. Violations raise check::CheckError.
+// Every run also folds (round, sender, receiver, payload) into
+// Metrics::trace_digest, a replay fingerprint: two runs are byte-identical
+// in their communication iff their digests, rounds and message counts agree.
 #pragma once
 
 #include <condition_variable>
@@ -201,38 +208,61 @@ struct RunOptions {
 
 class Network;
 
+// Receivers are grouped into contiguous destination shards of
+// 2^kDestShardBits ids; sends coalesce per (lane, shard) so the barrier's
+// counting scatter touches one shard's counters at a time (a few KiB — cache
+// resident even at n = 1e6+, where a flat scatter misses on every message).
+inline constexpr unsigned kDestShardBits = 12;
+inline constexpr VertexId kDestShardSize = VertexId{1} << kDestShardBits;
+
 namespace detail {
 
-// One queued (not yet delivered) message: the payload is lane.arena[off,
-// off+len). Broadcast entries share one offset.
-struct PendingSend {
-  VertexId from;
-  VertexId to;
-  std::uint32_t len;
-  std::uint64_t off;
+// Coalesced outbox for one destination shard of one lane: entry i is a
+// message from[i] -> dst[i] whose payload is lane.arena[off[i], off[i] +
+// words[i]). Structure-of-arrays so the barrier's count / scatter / audit
+// passes stream over dense, homogeneous arrays. Entries are appended in send
+// order, which within a lane is ascending sender id; merging shard buffers
+// in (shard, lane) order therefore replays messages receiver-shard-major
+// with senders ascending inside every shard — exactly what the stable
+// counting scatter needs to produce sender-sorted CSR inboxes with no sort.
+// Broadcast entries share one payload offset.
+struct ShardOutbox {
+  std::vector<VertexId> dst;
+  std::vector<VertexId> from;
+  std::vector<std::uint32_t> words;
+  std::vector<std::uint64_t> off;
+
+  [[nodiscard]] std::size_t size() const noexcept { return dst.size(); }
+  [[nodiscard]] bool empty() const noexcept { return dst.empty(); }
+
+  void push(VertexId f, VertexId d, std::uint32_t w, std::uint64_t o) {
+    dst.push_back(d);
+    from.push_back(f);
+    words.push_back(w);
+    off.push_back(o);
+  }
+
+  void clear() noexcept {
+    dst.clear();
+    from.clear();
+    words.clear();
+    off.clear();
+  }
 };
 
 // Per-worker transport state. The sequential executor uses lane 0 only; the
 // parallel executor gives each worker its own lane so a round's activations
-// never contend: sends bump-append into the lane arena and send log, and the
-// barrier concatenates lanes in shard order — ascending sender id — which is
+// never contend: sends bump-append into the lane arena and the lane's
+// destination-shard outboxes, and the barrier merges the shard buffers in
+// (shard, lane) order — lanes cover ascending sender ranges — which is
 // exactly the order the sequential path records.
 struct Lane {
   std::vector<Word> arena;      // payloads of the running round's sends
   std::vector<Word> delivered;  // payloads delivered at the last barrier
-  std::vector<PendingSend> pending;  // send log, activation order
+  std::vector<ShardOutbox> out;  // send log, one buffer per destination shard
+  std::uint64_t pending_count = 0;  // total queued entries across `out`
   std::vector<VertexId> awake;       // stay_awake() requests, ascending
   Metrics tally;  // per-round message counters; merged at the barrier
-
-  // Neighbor-index table for the sender currently being activated on this
-  // lane: built lazily on its first point-send of a round, it answers "is
-  // `to` adjacent to the sender, and at which adjacency position" in O(1).
-  // nbr_epoch[w] holds the epoch at which w was last marked; marks are valid
-  // while indexed_sender still owns the epoch.
-  std::vector<std::uint32_t> nbr_pos;
-  std::vector<std::uint64_t> nbr_epoch;
-  std::uint64_t cur_epoch = 0;
-  VertexId indexed_sender = graph::kInvalidVertex;
 };
 
 // A message the fault layer holds back: it joins the inboxes at the barrier
@@ -250,6 +280,9 @@ struct FaultEvent {
   std::uint64_t round;
   VertexId node;
 };
+
+// Defined after Network; drives the barrier in isolation for microbenches.
+struct BarrierBench;
 
 }  // namespace detail
 
@@ -414,20 +447,26 @@ class Network {
 
  private:
   friend class Mailbox;
+  friend struct detail::BarrierBench;
 
   void reset_transport();
   void deliver_outboxes();
   void rebuild_worklist();
   // Fault-path counterparts (used only when a non-empty plan is attached;
   // the legacy functions above stay byte-identical for fault-free runs).
+  // Defined in sim/faults.cpp next to the FaultPlan hash streams they draw.
   void prepare_fault_run();
   void apply_fault_events(Protocol& protocol);
   void deliver_outboxes_faulty();
   void rebuild_worklist_faulty();
   [[nodiscard]] bool fault_work_pending() const noexcept;
+  // Strict-audit pass over receivers_[begin, end): a branch-light merge of
+  // every receiver's freshly scattered inbox against its sorted adjacency
+  // list (sortedness + link validity + cap in one pass over the flat
+  // arrays); on a violation re-runs audit_inbox for the precise diagnostic.
+  void audit_delivered_range(std::size_t begin, std::size_t end) const;
   void audit_inbox(VertexId v) const;
   void stamp_arc_or_reject(VertexId from, VertexId to, std::uint64_t arc);
-  void index_neighbors_of(detail::Lane& lane, VertexId v);
 
   // Activate ids[0..count) through `lane`, auditing inbox and activation
   // order in kStrict ('audit_prev' carries the id activated just before this
@@ -445,6 +484,9 @@ class Network {
   AuditMode audit_;
   ExecutionMode exec_;
   Metrics metrics_;
+  // Destination shards: ceil(n / kDestShardSize), >= 1 so node 0 of an empty
+  // graph still maps somewhere. shard_of(v) == v >> kDestShardBits.
+  std::size_t shard_count_ = 1;
 
   // --- per-worker accumulating state (sends of the running round) ---------
   // Lane 0 belongs to the simulator thread; lanes 1.. to the pool workers.
@@ -512,5 +554,24 @@ class Network {
   unsigned job_unfinished_ = 0;
   bool pool_stop_ = false;
 };
+
+namespace detail {
+
+// Bench/test-only access to the private round machinery, so the
+// scatter/merge kernel can be driven and profiled without a protocol run
+// (bench/micro_core.cpp, BM_DeliverOutboxes). Not part of the public API.
+struct BarrierBench {
+  // Open a fresh round epoch (invalidates last round's arc stamps), exactly
+  // as Network::run_outcome does before activations.
+  static void begin_round(Network& net) { ++net.round_epoch_; }
+  // Run the fault-free barrier: shard merge, counting scatter, digest fold,
+  // strict audit, worklist rebuild.
+  static void deliver(Network& net) {
+    net.deliver_outboxes();
+    net.rebuild_worklist();
+  }
+};
+
+}  // namespace detail
 
 }  // namespace ultra::sim

@@ -1,20 +1,32 @@
-# Validation for the ultra.bench_sim.v2 BENCH JSON contract. Two modes,
-# combinable in one invocation:
+# Validation for the ultra.bench_sim BENCH JSON contract (v2 records are
+# accepted for historical arrays; v3 adds the mandatory `aggregation`
+# object). Three modes, combinable in one invocation:
 #
 #   -DBENCH_BIN=<path-to-micro_core>
 #       bench-smoke: run `micro_core --json` on a tiny workload and validate
 #       the emitted record (presence of every required key plus basic sanity
-#       of the numeric fields).
+#       of the numeric fields). A fresh binary must emit the current v3
+#       schema, aggregation field included.
 #
 #   -DBENCH_JSON=<path-to-BENCH_sim.json>
 #       file audit: parse the committed record array, validate every record,
 #       and reject duplicate {workload, protocol, execution, threads} tuples
 #       — the failure mode of a regeneration script appending instead of
-#       rewriting.
+#       rewriting. ultra.bench_note.v1 records (e.g. the explicit
+#       "SKIPPED (1 core)" parallel-sweep note) are schema-checked but exempt
+#       from the duplicate-tuple rule.
 #
-# Invoked by ctest (bench_smoke runs both modes) and by tools/run_bench.sh
-# (file audit on the freshly written array, before it replaces the old one):
-#   cmake -DBENCH_BIN=... -DBENCH_JSON=... -P tools/check_bench_json.cmake
+#   -DBENCH_BASELINE=<previous-BENCH_sim.json>   (requires BENCH_JSON)
+#       peak-RSS budget: for every tuple present in both arrays, warn if
+#       peak_rss_bytes regressed more than 10% against the baseline record —
+#       a tripwire for the memory-diet roadmap item, not a hard failure
+#       (RSS is load-sensitive).
+#
+# Invoked by ctest (bench_smoke runs BIN + JSON modes) and by
+# tools/run_bench.sh (file audit + RSS budget on the freshly written array,
+# before it replaces the old one):
+#   cmake -DBENCH_BIN=... -DBENCH_JSON=... [-DBENCH_BASELINE=...] \
+#         -P tools/check_bench_json.cmake
 cmake_minimum_required(VERSION 3.19)  # string(JSON ...), IN_LIST semantics
 
 if(NOT DEFINED BENCH_BIN AND NOT DEFINED BENCH_JSON)
@@ -30,7 +42,18 @@ function(ultra_validate_record record context)
   if(jerr)
     message(FATAL_ERROR "${context}: not valid JSON: ${jerr}")
   endif()
-  if(NOT schema STREQUAL "ultra.bench_sim.v2")
+
+  # Note records carry prose, not measurements: one mandatory `note` string.
+  if(schema STREQUAL "ultra.bench_note.v1")
+    string(JSON note ERROR_VARIABLE jerr GET "${record}" note)
+    if(jerr)
+      message(FATAL_ERROR "${context}: note record missing 'note': ${jerr}")
+    endif()
+    return()
+  endif()
+
+  if(NOT schema STREQUAL "ultra.bench_sim.v2" AND
+     NOT schema STREQUAL "ultra.bench_sim.v3")
     message(FATAL_ERROR "${context}: unexpected schema '${schema}'")
   endif()
 
@@ -51,6 +74,25 @@ function(ultra_validate_record record context)
         "${context}: missing required workload key '${key}': ${jerr}")
     endif()
   endforeach()
+
+  # v3: the transport aggregation geometry that produced the numbers.
+  if(schema STREQUAL "ultra.bench_sim.v3")
+    foreach(key mode dest_shard_bits shard_size)
+      string(JSON val ERROR_VARIABLE jerr GET "${record}" aggregation ${key})
+      if(jerr)
+        message(FATAL_ERROR
+          "${context}: missing required aggregation key '${key}': ${jerr}")
+      endif()
+    endforeach()
+    string(JSON bits GET "${record}" aggregation dest_shard_bits)
+    string(JSON shard_size GET "${record}" aggregation shard_size)
+    math(EXPR expected_size "1 << ${bits}")
+    if(NOT shard_size EQUAL expected_size)
+      message(FATAL_ERROR
+        "${context}: aggregation shard_size=${shard_size} does not match "
+        "dest_shard_bits=${bits} (expected ${expected_size})")
+    endif()
+  endif()
 
   string(JSON execution GET "${record}" execution)
   if(NOT execution STREQUAL "sequential" AND NOT execution STREQUAL "parallel")
@@ -73,6 +115,20 @@ function(ultra_validate_record record context)
   endif()
 endfunction()
 
+# The {workload, protocol, execution, threads} identity of a measurement
+# record, used for duplicate rejection and baseline matching.
+function(ultra_record_key record out_var)
+  string(JSON wl_n GET "${record}" workload n)
+  string(JSON wl_m GET "${record}" workload m)
+  string(JSON wl_seed GET "${record}" workload seed)
+  string(JSON protocol GET "${record}" protocol)
+  string(JSON execution GET "${record}" execution)
+  string(JSON threads GET "${record}" threads)
+  set(${out_var}
+      "n${wl_n}/m${wl_m}/s${wl_seed}/${protocol}/${execution}/t${threads}"
+      PARENT_SCOPE)
+endfunction()
+
 if(DEFINED BENCH_BIN)
   execute_process(
     COMMAND ${BENCH_BIN} --json --n 200 --m 600 --repeats 1
@@ -87,6 +143,12 @@ if(DEFINED BENCH_BIN)
   string(STRIP "${out}" record)
   message(STATUS "bench-smoke record: ${record}")
   ultra_validate_record("${record}" "bench-smoke")
+  string(JSON schema GET "${record}" schema)
+  if(NOT schema STREQUAL "ultra.bench_sim.v3")
+    message(FATAL_ERROR
+      "bench-smoke: fresh binary emits schema '${schema}', expected "
+      "ultra.bench_sim.v3")
+  endif()
 
   # The parallel executor must accept the same workload and stay on the
   # documented record shape (threads reports the resolved worker count).
@@ -125,17 +187,17 @@ if(DEFINED BENCH_JSON)
   endif()
 
   set(seen "")
+  set(notes 0)
   math(EXPR last "${count} - 1")
   foreach(i RANGE 0 ${last})
     string(JSON record GET "${doc}" ${i})
     ultra_validate_record("${record}" "${BENCH_JSON} record ${i}")
-    string(JSON wl_n GET "${record}" workload n)
-    string(JSON wl_m GET "${record}" workload m)
-    string(JSON wl_seed GET "${record}" workload seed)
-    string(JSON protocol GET "${record}" protocol)
-    string(JSON execution GET "${record}" execution)
-    string(JSON threads GET "${record}" threads)
-    set(key "n${wl_n}/m${wl_m}/s${wl_seed}/${protocol}/${execution}/t${threads}")
+    string(JSON schema GET "${record}" schema)
+    if(schema STREQUAL "ultra.bench_note.v1")
+      math(EXPR notes "${notes} + 1")
+      continue()
+    endif()
+    ultra_record_key("${record}" key)
     if("${key}" IN_LIST seen)
       message(FATAL_ERROR
         "${BENCH_JSON} record ${i}: duplicate {workload, protocol, "
@@ -144,5 +206,65 @@ if(DEFINED BENCH_JSON)
     endif()
     list(APPEND seen "${key}")
   endforeach()
-  message(STATUS "${BENCH_JSON}: OK (${count} records, no duplicates)")
+  message(STATUS
+    "${BENCH_JSON}: OK (${count} records, ${notes} notes, no duplicates)")
+endif()
+
+if(DEFINED BENCH_BASELINE)
+  if(NOT DEFINED BENCH_JSON)
+    message(FATAL_ERROR "check_bench_json: BENCH_BASELINE requires BENCH_JSON")
+  endif()
+  file(READ "${BENCH_BASELINE}" basedoc)
+  string(JSON bcount ERROR_VARIABLE jerr LENGTH "${basedoc}")
+  if(jerr)
+    # A corrupt baseline must not block regeneration — that is exactly the
+    # situation regeneration fixes.
+    message(WARNING
+      "${BENCH_BASELINE}: unreadable baseline (${jerr}); "
+      "skipping the peak-RSS budget check")
+  else()
+    set(base_keys "")
+    set(base_rss "")
+    if(bcount GREATER 0)
+      math(EXPR blast "${bcount} - 1")
+      foreach(i RANGE 0 ${blast})
+        string(JSON record GET "${basedoc}" ${i})
+        string(JSON schema ERROR_VARIABLE jerr GET "${record}" schema)
+        if(jerr OR schema STREQUAL "ultra.bench_note.v1")
+          continue()
+        endif()
+        string(JSON rss ERROR_VARIABLE jerr GET "${record}" peak_rss_bytes)
+        if(jerr)
+          continue()
+        endif()
+        ultra_record_key("${record}" key)
+        list(APPEND base_keys "${key}")
+        list(APPEND base_rss "${rss}")
+      endforeach()
+    endif()
+
+    math(EXPR last "${count} - 1")
+    foreach(i RANGE 0 ${last})
+      string(JSON record GET "${doc}" ${i})
+      string(JSON schema GET "${record}" schema)
+      if(schema STREQUAL "ultra.bench_note.v1")
+        continue()
+      endif()
+      ultra_record_key("${record}" key)
+      list(FIND base_keys "${key}" idx)
+      if(idx EQUAL -1)
+        continue()
+      endif()
+      list(GET base_rss ${idx} old_rss)
+      string(JSON new_rss GET "${record}" peak_rss_bytes)
+      math(EXPR budget "(${old_rss} * 11) / 10")
+      if(new_rss GREATER budget)
+        message(WARNING
+          "${BENCH_JSON} record ${i} (${key}): peak_rss_bytes ${new_rss} "
+          "regressed >10% vs baseline ${old_rss} — memory-diet budget "
+          "exceeded")
+      endif()
+    endforeach()
+    message(STATUS "peak-RSS budget vs ${BENCH_BASELINE}: checked")
+  endif()
 endif()

@@ -2,23 +2,37 @@
 # Regenerate BENCH_sim.json: build the release preset and run the simulator
 # transport workload (micro_core --json) at three sizes, sweeping the round
 # executor over sequential and parallel {2, 4} worker threads. Each record
-# follows the ultra.bench_sim.v2 schema (see bench/common.h) and carries the
-# detected CPU core count; the output file is a JSON array ordered
-# small -> large, sequential -> parallel, so trend tooling can diff across
-# PRs. On a single-core machine the parallel sweep is skipped (a parallel
-# "scaling" point measured on one core is pure scheduling noise) and a note
-# is logged instead.
+# follows the ultra.bench_sim.v3 schema (see bench/common.h) and carries the
+# detected CPU core count plus the transport aggregation geometry; the output
+# file is a JSON array ordered small -> large, sequential -> parallel, so
+# trend tooling can diff across PRs. On a single-core machine the parallel
+# sweep is skipped (a parallel "scaling" point measured on one core is pure
+# scheduling noise) and an explicit ultra.bench_note.v1 record is appended to
+# the array instead of silently omitting the rows; --force-parallel overrides
+# the skip for machines that underreport their core count.
 #
 # Regeneration is idempotent: records are assembled in a temp file, audited
 # by tools/check_bench_json.cmake (schema + duplicate {workload, protocol,
-# execution, threads} rejection), and only then atomically moved over the
-# previous array. Rerunning never appends to or corrupts an existing file.
+# execution, threads} rejection, plus a peak-RSS budget comparison against
+# the previous array when one exists), and only then atomically moved over
+# the previous array. Rerunning never appends to or corrupts an existing
+# file.
 #
-# Usage: tools/run_bench.sh [output-path]   (default: BENCH_sim.json)
+# Usage: tools/run_bench.sh [--force-parallel] [output-path]
+#                           (default output: BENCH_sim.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_sim.json}"
+
+FORCE_PARALLEL=0
+OUT="BENCH_sim.json"
+for arg in "$@"; do
+  case "$arg" in
+    --force-parallel) FORCE_PARALLEL=1 ;;
+    -*) echo "run_bench.sh: unknown option '$arg'" >&2; exit 2 ;;
+    *) OUT="$arg" ;;
+  esac
+done
 
 cmake --preset release >/dev/null
 cmake --build --preset release --target micro_core -- -j"$(nproc)" >/dev/null
@@ -36,13 +50,20 @@ SIZES=(
   "1000000 10000000 1"
 )
 # executor sweep: "--exec ... [--threads T]" per record. Parallel points are
-# only meaningful with >1 core to schedule onto.
+# only meaningful with >1 core to schedule onto, unless forced.
 CORES="$(nproc)"
 EXECS=("--exec sequential")
-if [ "$CORES" -gt 1 ]; then
+NOTES=()
+if [ "$CORES" -gt 1 ] || [ "$FORCE_PARALLEL" -eq 1 ]; then
   EXECS+=("--exec parallel --threads 2" "--exec parallel --threads 4")
+  if [ "$CORES" -le 1 ]; then
+    echo "run_bench.sh: --force-parallel on a $CORES-core machine;" \
+         "parallel rows measure scheduling noise, not scaling" >&2
+  fi
 else
-  echo "run_bench.sh: 1 CPU core detected; skipping the parallel sweep" >&2
+  echo "run_bench.sh: 1 CPU core detected; skipping the parallel sweep" \
+       "(--force-parallel overrides)" >&2
+  NOTES+=("{\"schema\": \"ultra.bench_note.v1\", \"note\": \"SKIPPED (1 core)\", \"skipped\": \"parallel_sweep\", \"cpu_cores\": $CORES}")
 fi
 
 {
@@ -57,11 +78,20 @@ fi
              $exec_args | tr -d '\n'
     done
   done
+  for note in ${NOTES[@]+"${NOTES[@]}"}; do
+    [ "$first" -eq 1 ] && first=0 || echo ","
+    printf '%s' "$note"
+  done
   echo
   echo "]"
 } > "$TMP"
 
-cmake -DBENCH_JSON="$TMP" -P tools/check_bench_json.cmake
+# Audit the fresh array before it replaces the previous one; when a previous
+# array exists it doubles as the peak-RSS budget baseline.
+BASELINE_ARGS=()
+[ -f "$OUT" ] && BASELINE_ARGS=("-DBENCH_BASELINE=$OUT")
+cmake -DBENCH_JSON="$TMP" ${BASELINE_ARGS[@]+"${BASELINE_ARGS[@]}"} \
+      -P tools/check_bench_json.cmake
 mv "$TMP" "$OUT"
 trap - EXIT
 
