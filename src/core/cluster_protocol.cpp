@@ -5,6 +5,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "check/check.h"
 #include "util/rng.h"
 
 namespace ultra::core {
@@ -258,6 +259,7 @@ void ClusterProtocol::handle_round_start(sim::Mailbox& mb) {
     for (const sim::MessageView& m : mb.inbox()) {
       if (!m.payload.empty() && m.payload[0] == kTagHorizon &&
           m.from == p1_[v]) {
+        ULTRA_CHECK_GE(m.payload.size(), 2);
         horizon_[v] = static_cast<std::uint32_t>(m.payload[1]);
         got = true;
       }
@@ -290,6 +292,7 @@ void ClusterProtocol::read_statuses(sim::Mailbox& mb) {
   // deduplicated local list of adjacent clusters for the DIE case.
   for (const sim::MessageView& m : mb.inbox()) {
     if (m.payload.empty() || m.payload[0] != kTagStatus) continue;
+    ULTRA_CHECK_GE(m.payload.size(), 3);
     const auto their_center = static_cast<VertexId>(m.payload[1]);
     const auto their_horizon = static_cast<std::uint32_t>(m.payload[2]);
     if (their_center == ccenter_[v]) continue;  // same cluster
@@ -380,6 +383,7 @@ void ClusterProtocol::pump_list_queue(sim::Mailbox& mb) {
     return;
   }
   if (!list_queue_[v].empty()) {
+    // ultra-lint: cold-path(DIE list drain; bounded by chunk budget, rare)
     std::vector<Word> payload{kTagList};
     const std::size_t take =
         std::min<std::size_t>(list_chunk_entries_, list_queue_[v].size());
@@ -449,6 +453,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
     if (m.payload.empty()) continue;
     switch (m.payload[0]) {
       case kTagCand: {
+        ULTRA_CHECK_GE(m.payload.size(), 6);
         if (m.payload[1] == 1) {
           Candidate c{true, static_cast<VertexId>(m.payload[2]),
                       static_cast<std::uint32_t>(m.payload[3]),
@@ -466,6 +471,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
         break;
       }
       case kTagJoin: {
+        ULTRA_CHECK_GE(m.payload.size(), 6);
         const auto new_center = static_cast<VertexId>(m.payload[1]);
         const auto new_horizon = static_cast<std::uint32_t>(m.payload[2]);
         const auto vstar = static_cast<VertexId>(m.payload[3]);
@@ -532,6 +538,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
         break;
       }
       case kTagFinish: {
+        ULTRA_CHECK_GE(m.payload.size(), 2);
         finish_seen = true;
         finish_aborted = m.payload[1] == 1;
         break;
@@ -770,7 +777,9 @@ void ClusterProtocol::on_restart(sim::Network&, VertexId v) {
 void ClusterProtocol::heal_orphans() {
   const auto n = static_cast<VertexId>(alive_.size());
   // 0 unknown / 1 rooted / 2 orphaned / 3 on the current walk
+  // ultra-lint: cold-path(fault-recovery sweep; once per schedule round)
   std::vector<std::uint8_t> state(n, 0);
+  // ultra-lint: cold-path(fault-recovery sweep; once per schedule round)
   std::vector<VertexId> path;
   for (VertexId w = 0; w < n; ++w) {
     if (!alive_[w] || state[w]) continue;

@@ -241,9 +241,10 @@ void Network::deliver_outboxes_faulty() {
         if (fate.kind == Kind::kDelay || fate.kind == Kind::kDuplicate) {
           (fate.kind == Kind::kDelay ? metrics_.faults.delayed
                                      : metrics_.faults.duplicated)++;
-          delayed_.push_back(detail::DelayedMsg{
-              r + fate.delay_rounds, from, to,
-              std::vector<Word>(data, data + len)});
+          // ultra-lint: cold-path(fault path; copy must outlive the arena)
+          std::vector<Word> copy(data, data + len);
+          delayed_.push_back(detail::DelayedMsg{r + fate.delay_rounds, from,
+                                                to, std::move(copy)});
           if (fate.kind == Kind::kDelay) continue;
         }
         // A receiver that is down when the message would arrive (consumption

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.h"
+
 namespace ultra::sim {
 
 namespace {
@@ -44,6 +46,7 @@ void TruncatedMinIdFlood::on_round(Mailbox& mb) {
     // id among them is the min-id source at distance `now`.
     dist_[v] = now;
     for (const MessageView& msg : mb.inbox()) {
+      ULTRA_CHECK_GE(msg.payload.size(), 1);
       if (msg.payload[0] < nearest_[v]) {
         nearest_[v] = static_cast<VertexId>(msg.payload[0]);
         parent_[v] = msg.from;

@@ -129,13 +129,124 @@ TEST(UltraLintFixtures, SuppressNegative) {
   EXPECT_EQ(suppressed, 1);
 }
 
-// The tree itself is a fixture: src/ and tests/ stay clean. Any new finding
-// must be fixed or carry a reasoned NOLINT before it can land.
+TEST(UltraLintFixtures, MsgContractPositive) {
+  const LintResult r = lint_fixtures();
+  // payload[0] + payload[1] unguarded, the unguarded switch sibling arm,
+  // the over-arity read under kTagPong, and the unbounded computed index.
+  EXPECT_EQ(lines_for(r, "ultra-msg-contract", "msg_contract_pos.cpp").size(),
+            5u);
+}
+
+TEST(UltraLintFixtures, MsgContractNegative) {
+  EXPECT_EQ(count_for_file(lint_fixtures(), "msg_contract_neg.cpp"), 0);
+}
+
+TEST(UltraLintFixtures, SpanEscapePositive) {
+  const LintResult r = lint_fixtures();
+  // Three view-typed member declarations + four stores/captures in absorb().
+  EXPECT_EQ(lines_for(r, "ultra-span-escape", "span_escape_pos.h").size(), 7u);
+}
+
+TEST(UltraLintFixtures, SpanEscapeNegative) {
+  EXPECT_EQ(count_for_file(lint_fixtures(), "span_escape_neg.h"), 0);
+}
+
+TEST(UltraLintFixtures, HotAllocPositive) {
+  const LintResult r = lint_fixtures();
+  // Scratch local, temporary, unmanaged member growth, and the three
+  // helper-reachable allocations (new / to_string / make_unique).
+  EXPECT_EQ(lines_for(r, "ultra-hot-alloc", "hot_alloc_pos.cpp").size(), 6u);
+}
+
+TEST(UltraLintFixtures, HotAllocNegative) {
+  EXPECT_EQ(count_for_file(lint_fixtures(), "hot_alloc_neg.cpp"), 0);
+}
+
+TEST(UltraLintFixtures, LexerHardeningNegative) {
+  // Raw strings (all encoding prefixes, custom delimiters), digraphs and a
+  // continued #define full of decoy identifiers: nothing may fire.
+  EXPECT_EQ(count_for_file(lint_fixtures(), "lexer_neg.cpp"), 0);
+}
+
+TEST(UltraLintFixtures, LexerHardeningPositive) {
+  const LintResult r = lint_fixtures();
+  // The real rand() after the decoys fires at exactly its own line — the
+  // lexer resynchronized through the raw string and digraph braces.
+  const std::vector<int> lines = lines_for(r, "ultra-nondet", "lexer_pos.cpp");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 9);
+  EXPECT_EQ(count_for_file(r, "lexer_pos.cpp"), 1);
+}
+
+// Round trip: a finding matched by the baseline moves out of `active` into
+// `baselined`, the entry matching nothing is reported stale, and the audit
+// report shows both.
+TEST(UltraLintBaseline, RoundTrip) {
+  LintOptions options;
+  options.root = ULTRA_LINT_FIXTURES;
+  options.paths = {"src"};
+  options.baseline_path = std::string(ULTRA_LINT_FIXTURES) + "/baseline.json";
+  const LintResult r = run_lint(options);
+  ASSERT_FALSE(r.baseline_error);
+
+  ASSERT_EQ(r.baselined.size(), 1u);
+  EXPECT_EQ(r.baselined[0].rule, "ultra-check");
+  EXPECT_EQ(r.baselined[0].file, "src/check_pos.cpp");
+  EXPECT_EQ(r.baselined[0].suppress_reason,
+            "fixture round-trip: a real finding absorbed by the baseline");
+  // The absorbed finding no longer counts against the run...
+  for (const Finding& f : r.active) {
+    EXPECT_FALSE(f.file == "src/check_pos.cpp" &&
+                 f.message.find("raw assert()") != std::string::npos);
+  }
+  // ...but its unmatched sibling (the naked throw) still does.
+  EXPECT_EQ(lines_for(r, "ultra-check", "check_pos.cpp").size(), 1u);
+
+  ASSERT_EQ(r.stale_baseline.size(), 1u);
+  EXPECT_EQ(r.stale_baseline[0].file, "src/no_such_file.cpp");
+
+  const std::string audit = ultra::lint::format_text(r, true);
+  EXPECT_NE(audit.find("baselined (suppression baseline)"), std::string::npos);
+  EXPECT_NE(audit.find("stale baseline entries"), std::string::npos);
+  EXPECT_NE(audit.find("no_such_file.cpp"), std::string::npos);
+}
+
+TEST(UltraLintBaseline, UnreadableBaselineIsAnError) {
+  LintOptions options;
+  options.root = ULTRA_LINT_FIXTURES;
+  options.paths = {"src"};
+  options.baseline_path =
+      std::string(ULTRA_LINT_FIXTURES) + "/does_not_exist.json";
+  EXPECT_TRUE(run_lint(options).baseline_error);
+}
+
+TEST(UltraLintSarif, ReportShape) {
+  const std::string sarif = ultra::lint::format_sarif(lint_fixtures());
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("ultra-lint"), std::string::npos);
+  // Every rule id appears in the driver's rule table.
+  EXPECT_NE(sarif.find("ultra-msg-contract"), std::string::npos);
+  EXPECT_NE(sarif.find("ultra-hot-alloc"), std::string::npos);
+  // At least one concrete result with a physical location.
+  EXPECT_NE(sarif.find("physicalLocation"), std::string::npos);
+}
+
+// The tree itself is a fixture: src/ and tests/ stay clean modulo the
+// checked-in suppression baseline. Any new finding must be fixed, carry a
+// reasoned NOLINT, or be deliberately baselined before it can land.
 TEST(UltraLintTree, SrcAndTestsAreClean) {
   LintOptions options;
   options.root = ULTRA_LINT_REPO_ROOT;
   options.paths = {"src", "tests"};
+  options.baseline_path =
+      std::string(ULTRA_LINT_REPO_ROOT) + "/tools/ultra_lint/baseline.json";
   const LintResult result = run_lint(options);
+  ASSERT_FALSE(result.baseline_error);
+  // The baseline must not rot: every entry still matches a real finding.
+  EXPECT_TRUE(result.stale_baseline.empty());
+  for (const Finding& f : result.baselined) {
+    EXPECT_FALSE(f.suppress_reason.empty());
+  }
   EXPECT_GT(result.scanned.size(), 50u) << "tree scan found too few files — "
                                            "wrong root?";
   for (const Finding& f : result.active) {

@@ -1,0 +1,33 @@
+// Fixture: ultra-hot-alloc negatives — a member with managed capacity
+// (reserved once, clear() recycles it) grows freely on the hot path, a
+// reasoned cold-path annotation covers a deliberate allocation, and
+// methods unreachable from any hot root may allocate at will.
+#include <string>
+#include <vector>
+
+struct Mailbox;
+
+class WarmLoop {
+ public:
+  void begin() { ring_.reserve(64); }
+
+  void on_round(Mailbox& mb) {
+    ring_.clear();  // capacity retained: steady-state push_backs are free
+    for (int i = 0; i < 4; ++i) {
+      ring_.push_back(i);
+    }
+    // ultra-lint: cold-path(debug snapshot; taken at most once per run)
+    std::vector<int> snapshot(ring_);
+    (void)snapshot;
+  }
+
+  void report() {
+    std::string s = heavy();  // unreachable from any hot root
+    (void)s;
+  }
+
+ private:
+  std::string heavy() { return std::string(1024, 'x'); }
+
+  std::vector<int> ring_;
+};

@@ -1,0 +1,36 @@
+// Fixture: ultra-hot-alloc positives — allocations reachable from on_round
+// (directly and through helpers): a scratch container local, a container
+// temporary, operator new, to_string, make_unique, and a push_back onto a
+// member whose capacity is never managed anywhere in the unit.
+#include <memory>
+#include <string>
+#include <vector>
+
+struct Mailbox;
+
+class HotLoop {
+ public:
+  void on_round(Mailbox& mb) {
+    std::vector<int> scratch;  // finding: per-activation local container
+    scratch.push_back(1);
+    take(std::vector<int>(4, 0));  // finding: container temporary
+    helper();
+    for (int i = 0; i < 4; ++i) {
+      trail_.push_back(i);  // finding: unmanaged member growth in a loop
+    }
+  }
+
+ private:
+  void helper() {
+    buf_ = new int[8];                  // finding: reachable operator new
+    label_ = std::to_string(42);        // finding: reachable to_string
+    owned_ = std::make_unique<int>(7);  // finding: reachable make_unique
+  }
+
+  void take(const std::vector<int>& xs) { (void)xs; }
+
+  int* buf_ = nullptr;
+  std::string label_;
+  std::unique_ptr<int> owned_;
+  std::vector<int> trail_;
+};

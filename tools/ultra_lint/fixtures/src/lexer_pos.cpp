@@ -1,0 +1,10 @@
+// Fixture: lexer hardening positive — after raw strings full of decoy
+// tokens and a digraph block, a real rand() call must still fire
+// ultra-nondet at exactly its own line (the lexer resynchronized).
+#include <cstdlib>
+
+const char* decoy = R"del(rand() is only text here; so is time(0))del";
+
+int roll() <%
+  return rand();  // the one real finding, line 9
+%>

@@ -1,0 +1,59 @@
+// Fixture: ultra-msg-contract negatives — every read is dominated by a
+// size guard (empty()-continue, size() comparison in either operand order,
+// the ULTRA_CHECK comma form), computed indexes are bounded by size(), and
+// an opaque (non-braced) send payload disables arity matching for the class.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct Mailbox;
+struct MessageView;
+struct Word;
+
+inline constexpr unsigned long kTagEcho = 3;
+
+class EchoProtocol {
+ public:
+  void on_round(Mailbox& mb) {
+    mb.send_all({kTagEcho, seq_, seq_});
+    for (const MessageView& m : mb.inbox()) {
+      if (m.payload.empty() || m.payload[0] != kTagEcho) continue;
+      ULTRA_CHECK_GE(m.payload.size(), 3);
+      sum_ += m.payload[1] + m.payload[2];
+    }
+  }
+
+  void sweep(Mailbox& mb) {
+    for (const MessageView& m : mb.inbox()) {
+      if (m.payload.size() >= 2) {
+        sum_ += m.payload[1];
+      }
+      if (2 <= m.payload.size()) {
+        sum_ += m.payload[1];
+      }
+      for (std::size_t i = 0; i + 1 < m.payload.size(); ++i) {
+        sum_ += m.payload[i];  // computed, but bounded by size()
+      }
+    }
+  }
+
+ private:
+  std::uint64_t seq_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+class OpaqueRelay {
+ public:
+  void pump(Mailbox& mb) {
+    mb.send(0, trailer_);  // opaque payload: wire arity is unknowable
+    for (const MessageView& m : mb.inbox()) {
+      if (m.payload.empty() || m.payload[0] != kTagEcho) continue;
+      ULTRA_CHECK_GE(m.payload.size(), 9);
+      sum_ += m.payload[8];  // guarded; no arity claim possible
+    }
+  }
+
+ private:
+  std::vector<Word> trailer_;
+  std::uint64_t sum_ = 0;
+};

@@ -1,0 +1,60 @@
+// Fixture: ultra-msg-contract positives — unguarded payload indexing, a
+// switch arm leaning on a sibling arm's guard, a guarded read past the
+// producer's wire arity, and a computed index with no size() in sight.
+#include <cstdint>
+
+struct Mailbox;
+struct MessageView;
+
+inline constexpr unsigned long kTagPing = 1;
+inline constexpr unsigned long kTagPong = 2;
+
+class PingProtocol {
+ public:
+  void on_round(Mailbox& mb) {
+    mb.send_all({kTagPing, seq_});
+    mb.send(0, {kTagPong});
+    for (const MessageView& m : mb.inbox()) {
+      if (m.payload[0] == kTagPing) {  // finding: payload[0] unguarded
+        last_ = m.payload[1];          // finding: payload[1] unguarded
+      }
+    }
+  }
+
+  void decide(Mailbox& mb) {
+    for (const MessageView& m : mb.inbox()) {
+      if (m.payload.empty()) continue;
+      switch (m.payload[0]) {
+        case kTagPing:
+          ULTRA_CHECK_GE(m.payload.size(), 2);
+          last_ = m.payload[1];  // guarded in this arm: clean
+          break;
+        case kTagPong:
+          last_ = m.payload[1];  // finding: sibling's guard does not carry
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void audit(Mailbox& mb) {
+    for (const MessageView& m : mb.inbox()) {
+      if (m.payload.empty() || m.payload[0] != kTagPong) continue;
+      ULTRA_CHECK_GE(m.payload.size(), 3);
+      sum_ += m.payload[2];  // finding: kTagPong is sent with 1 word
+    }
+  }
+
+  void scan(Mailbox& mb) {
+    for (const MessageView& m : mb.inbox()) {
+      sum_ += m.payload[idx_];  // finding: computed index, size() never read
+    }
+  }
+
+ private:
+  std::uint64_t seq_ = 0;
+  std::uint64_t last_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t idx_ = 0;
+};

@@ -1,0 +1,30 @@
+// Fixture: ultra-span-escape negatives — owned Word copies may outlive the
+// activation, locals that die before the barrier are fine, and by-value
+// lambda captures copy rather than alias.
+#pragma once
+
+#include <vector>
+
+struct Mailbox;
+struct MessageView;
+struct Word;
+
+class CarefulObserver {
+ public:
+  void absorb(Mailbox& mb) {
+    for (const MessageView& m : mb.inbox()) {
+      if (m.payload.empty()) continue;
+      MessageView local = m;  // dies this activation: fine
+      (void)local;
+      words_.push_back(m.payload[0]);  // owned word, not the span
+      copies_.push_back(std::vector<Word>(m.payload.begin(),
+                                          m.payload.end()));  // owned copy
+      auto keep = [m]() { return m; };  // by-value capture copies
+      (void)keep;
+    }
+  }
+
+ private:
+  std::vector<Word> words_;
+  std::vector<std::vector<Word>> copies_;
+};

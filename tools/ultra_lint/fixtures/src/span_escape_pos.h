@@ -1,0 +1,29 @@
+// Fixture: ultra-span-escape positives — view-typed members (the
+// declaration is the escape), stores of a view or its span into member
+// state, and a by-reference lambda capture of a view.
+#pragma once
+
+#include <span>
+#include <vector>
+
+struct Mailbox;
+struct MessageView;
+struct Word;
+
+class LeakyObserver {
+ public:
+  void absorb(Mailbox& mb) {
+    for (const MessageView& m : mb.inbox()) {
+      log_.push_back(m);                  // finding: stores the view
+      spans_.push_back(m.payload);        // finding: stores its span
+      last_ = m;                          // finding: member assignment
+      auto peek = [&m]() { return m; };   // finding: by-ref capture
+      (void)peek;
+    }
+  }
+
+ private:
+  MessageView last_;                          // finding: view-typed member
+  std::vector<MessageView> log_;              // finding: view-typed member
+  std::vector<std::span<const Word>> spans_;  // finding: view-typed member
+};

@@ -22,6 +22,18 @@ constexpr const char* kPuncts[] = {
     "<<", ">>",
 };
 
+// Raw-string encoding prefixes. The identifier branch would otherwise eat
+// `LR` / `u8R` and leave the plain-string scanner to trip over the raw
+// string's unescaped quotes and backslashes.
+constexpr const char* kRawPrefixes[] = {"R", "LR", "uR", "UR", "u8R"};
+
+bool is_raw_prefix(const std::string& s) {
+  for (const char* p : kRawPrefixes) {
+    if (s == p) return true;
+  }
+  return false;
+}
+
 std::string trim(const std::string& s) {
   std::size_t b = 0;
   std::size_t e = s.size();
@@ -48,11 +60,22 @@ LexedFile lex(const std::string& source) {
     }
   };
 
+  // Length of a line continuation at position `at` (backslash + optional
+  // '\r' + '\n'), or 0. CRLF sources are lexed the same as LF sources.
+  auto continuation_len = [&](std::size_t at) -> std::size_t {
+    if (at >= n || source[at] != '\\') return 0;
+    if (at + 1 < n && source[at + 1] == '\n') return 2;
+    if (at + 2 < n && source[at + 1] == '\r' && source[at + 2] == '\n') {
+      return 3;
+    }
+    return 0;
+  };
+
   while (i < n) {
     const char c = source[i];
 
-    if (c == '\\' && i + 1 < n && source[i + 1] == '\n') {  // continuation
-      advance(2);
+    if (const std::size_t cl = continuation_len(i); cl != 0) {
+      advance(cl);
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -84,12 +107,16 @@ LexedFile lex(const std::string& source) {
     }
 
     // Preprocessor directive: record #include "..." targets, drop the rest.
-    if (c == '#' && !line_has_token) {
+    // `%:` is the digraph spelling of '#'. Line continuations (LF or CRLF)
+    // extend the directive; without this, the tail of a wrapped #define
+    // would be tokenized as code and skew every scope after it.
+    if ((c == '#' || (c == '%' && i + 1 < n && source[i + 1] == ':')) &&
+        !line_has_token) {
       std::size_t j = i;
       std::string directive;
       while (j < n && source[j] != '\n') {
-        if (source[j] == '\\' && j + 1 < n && source[j + 1] == '\n') {
-          j += 2;
+        if (const std::size_t cl = continuation_len(j); cl != 0) {
+          j += cl;
           continue;
         }
         directive.push_back(source[j]);
@@ -109,19 +136,25 @@ LexedFile lex(const std::string& source) {
       continue;
     }
 
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
-      std::size_t j = i + 2;
+    // Raw string literal body: `quote` indexes the opening '"' of
+    // R"delim( ... )delim" (any encoding prefix already consumed). Custom
+    // delimiters are honored verbatim — the contents, including quotes,
+    // backslashes and `//`, are opaque.
+    auto lex_raw_string = [&](std::size_t quote) {
+      std::size_t j = quote + 1;
       std::string delim;
-      while (j < n && source[j] != '(') delim.push_back(source[j++]);
+      while (j < n && source[j] != '(' && source[j] != '\n' &&
+             delim.size() <= 16) {
+        delim.push_back(source[j++]);
+      }
       const std::string closer = ")" + delim + "\"";
       const std::size_t end = source.find(closer, j);
-      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+      const std::size_t stop =
+          end == std::string::npos ? n : end + closer.size();
       out.tokens.push_back({TokKind::kString, "", line});
       line_has_token = true;
       advance(stop - i);
-      continue;
-    }
+    };
 
     // String / char literals (contents dropped).
     if (c == '"' || c == '\'') {
@@ -141,7 +174,15 @@ LexedFile lex(const std::string& source) {
     if (ident_start(c)) {
       std::size_t j = i;
       while (j < n && ident_char(source[j])) ++j;
-      out.tokens.push_back({TokKind::kIdent, source.substr(i, j - i), line});
+      std::string text = source.substr(i, j - i);
+      // Raw strings, with or without an encoding prefix (R"", LR"", u8R""…):
+      // the prefix lexes as an identifier, so divert here before the plain
+      // string scanner can mis-read the raw contents.
+      if (j < n && source[j] == '"' && is_raw_prefix(text)) {
+        lex_raw_string(j);
+        continue;
+      }
+      out.tokens.push_back({TokKind::kIdent, std::move(text), line});
       line_has_token = true;
       advance(j - i);
       continue;
@@ -158,6 +199,37 @@ LexedFile lex(const std::string& source) {
       out.tokens.push_back({TokKind::kNumber, source.substr(i, j - i), line});
       line_has_token = true;
       advance(j - i);
+      continue;
+    }
+
+    // Digraphs, normalized to their primary spelling so brace/bracket
+    // balancing in the model never miscounts. `<:` honors the standard's
+    // carve-out: in `<::x` the `<` stands alone (it is `<` followed by
+    // `::`), unless the sequence is `<::>` or `<:::`.
+    if (c == '<' && i + 1 < n && source[i + 1] == '%') {
+      out.tokens.push_back({TokKind::kPunct, "{", line});
+      line_has_token = true;
+      advance(2);
+      continue;
+    }
+    if (c == '%' && i + 1 < n && source[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, "}", line});
+      line_has_token = true;
+      advance(2);
+      continue;
+    }
+    if (c == '<' && i + 1 < n && source[i + 1] == ':' &&
+        !(i + 2 < n && source[i + 2] == ':' &&
+          !(i + 3 < n && (source[i + 3] == ':' || source[i + 3] == '>')))) {
+      out.tokens.push_back({TokKind::kPunct, "[", line});
+      line_has_token = true;
+      advance(2);
+      continue;
+    }
+    if (c == ':' && i + 1 < n && source[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, "]", line});
+      line_has_token = true;
+      advance(2);
       continue;
     }
 

@@ -39,8 +39,10 @@ struct LexedFile {
 };
 
 // Tokenizes `source`. Preprocessor directives are dropped from the token
-// stream (their #include "..." targets are recorded). Raw strings, escapes
-// and line continuations are handled; anything unrecognized becomes a
+// stream (their #include "..." targets are recorded). Raw strings (with
+// encoding prefixes and custom delimiters), escapes, digraphs (normalized to
+// their primary spelling) and line continuations (LF or CRLF, including
+// inside directives) are handled; anything unrecognized becomes a
 // single-character punct token so the lexer never stalls.
 [[nodiscard]] LexedFile lex(const std::string& source);
 

@@ -1,10 +1,13 @@
 // ultra-lint CLI.
 //
-//   ultra_lint [--root DIR] [--json] [--audit] [paths...]
+//   ultra_lint [--root DIR] [--json] [--audit] [--baseline FILE]
+//              [--sarif FILE] [paths...]
 //
 // Paths are repo-relative subtrees (default: src tests). Exits 1 when any
-// active finding remains after suppression filtering, 2 on usage errors.
+// active finding remains after suppression and baseline filtering, 2 on
+// usage errors or an unreadable baseline.
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,6 +19,7 @@ int main(int argc, char** argv) {
   options.root = std::filesystem::current_path().string();
   bool json = false;
   bool audit = false;
+  std::string sarif_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -29,6 +33,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.root = argv[++i];
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "ultra_lint: --baseline requires a file\n";
+        return 2;
+      }
+      options.baseline_path = argv[++i];
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::cerr << "ultra_lint: --sarif requires an output file\n";
+        return 2;
+      }
+      sarif_path = argv[++i];
     } else if (arg == "--list-rules") {
       for (const auto& rule : ultra::lint::rule_registry()) {
         std::cout << rule.id << "  " << rule.summary << "\n";
@@ -36,7 +52,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: ultra_lint [--root DIR] [--json] [--audit] "
-                   "[--list-rules] [paths...]\n";
+                   "[--baseline FILE] [--sarif FILE] [--list-rules] "
+                   "[paths...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "ultra_lint: unknown option '" << arg << "'\n";
@@ -53,6 +70,20 @@ int main(int argc, char** argv) {
   }
 
   const ultra::lint::LintResult result = ultra::lint::run_lint(options);
+  if (result.baseline_error) {
+    std::cerr << "ultra_lint: baseline '" << options.baseline_path
+              << "' is unreadable or not a baseline document\n";
+    return 2;
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path, std::ios::binary);
+    if (!sarif) {
+      std::cerr << "ultra_lint: cannot write SARIF to '" << sarif_path
+                << "'\n";
+      return 2;
+    }
+    sarif << ultra::lint::format_sarif(result);
+  }
   std::cout << (json ? ultra::lint::format_json(result)
                      : ultra::lint::format_text(result, audit));
   return result.active.empty() ? 0 : 1;

@@ -94,6 +94,9 @@ Annotations parse_annotation_text(const std::string& text, int line) {
     } else if (key == "lookup-only") {
       ann.lookup_only = true;
       ann.lookup_only_reason = arg;
+    } else if (key == "cold-path") {
+      ann.cold_path = true;
+      ann.cold_path_reason = arg;
     } else if (key.empty()) {
       break;
     }
@@ -419,11 +422,28 @@ TypeInfo classify_type(const std::vector<std::string>& tokens) {
   return info;
 }
 
+Annotations FileModel::annotation_at(int line) const {
+  if (const auto it = annotations_by_line.find(line);
+      it != annotations_by_line.end()) {
+    return it->second;
+  }
+  if (own_line_annotations.contains(line - 1)) {
+    if (const auto it = annotations_by_line.find(line - 1);
+        it != annotations_by_line.end()) {
+      return it->second;
+    }
+  }
+  return {};
+}
+
 FileModel build_model(std::string rel_path, LexedFile lexed) {
   FileModel model;
   model.rel_path = std::move(rel_path);
   model.lexed = std::move(lexed);
-  Parser parser{model.lexed.tokens, model, index_annotations(model.lexed)};
+  AnnotationIndex ann_index = index_annotations(model.lexed);
+  model.annotations_by_line = ann_index.by_line;
+  model.own_line_annotations = ann_index.own_line;
+  Parser parser{model.lexed.tokens, model, std::move(ann_index)};
   parser.parse_scope(0, model.lexed.tokens.size(), static_cast<std::size_t>(-1));
 
   // Unordered locals: scan method bodies for unordered declarations.

@@ -35,12 +35,16 @@ struct TypeInfo {
   bool mentions_unordered = false;
 };
 
-// Declaration-site annotations: `// ultra-lint: guarded-by(name)` and
-// `// ultra-lint: lookup-only(reason)` (reason optional).
+// Declaration-site annotations: `// ultra-lint: guarded-by(name)`,
+// `// ultra-lint: lookup-only(reason)` (reason optional), and the
+// statement-site `// ultra-lint: cold-path(reason)` (reason required —
+// ultra-hot-alloc ignores a reasonless cold-path).
 struct Annotations {
   std::optional<std::string> guarded_by;
   bool lookup_only = false;
   std::string lookup_only_reason;
+  bool cold_path = false;
+  std::string cold_path_reason;
   int line = 0;
 };
 
@@ -88,6 +92,15 @@ struct FileModel {
   std::vector<ClassDecl> classes;
   std::vector<MethodDef> methods;
   std::vector<LocalDecl> unordered_locals;
+  // Every parsed `// ultra-lint: ...` comment, by starting line, plus the
+  // subset standing on their own line (those may bind to the next line).
+  // Rules consult this for statement-site annotations (cold-path).
+  std::map<int, Annotations> annotations_by_line;
+  std::set<int> own_line_annotations;
+
+  // The annotation binding to `line`: a trailing comment on the line itself,
+  // or an own-line comment on the line above.
+  [[nodiscard]] Annotations annotation_at(int line) const;
 };
 
 // A unit pairs a header with its same-stem source so rules can see a class's

@@ -6,6 +6,11 @@
 //   ultra-unordered-member  unannotated unordered members in src/
 //   ultra-check             raw assert()/throw instead of ULTRA_CHECK*
 //   ultra-parallel-mut      non-lane-local Protocol state mutation
+//   ultra-msg-contract      unguarded payload indexing / producer-consumer
+//                           wire-arity mismatches
+//   ultra-span-escape       MessageView/span stored past the round barrier
+//   ultra-hot-alloc         heap allocation on the barrier/activation hot
+//                           path without a cold-path(<why>) annotation
 //   ultra-suppress          malformed ultra-lint suppressions/annotations
 #pragma once
 
