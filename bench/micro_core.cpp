@@ -12,6 +12,12 @@
 // tools/run_bench.sh drives this mode — per execution mode and thread
 // count — to maintain BENCH_sim.json.
 //
+// `micro_core --serve [--n N --m M --seed S --ops K --mix P,R,S
+// --dist uniform|zipfian --theta T --threads T --batch B --sample K]` runs
+// the query-serving workload (flattened oracle index + sharded engine) and
+// prints one ultra.bench_query.v1 record; run_bench.sh drives this mode per
+// distribution and thread count.
+//
 // `micro_core --supervise [--n N --m M --seed S --faults SPEC
 // --fault-seed F --attempts A --start-tier T]` runs the certificate-driven
 // supervisor (sim::supervised_spanner) over the same workload and prints one
@@ -294,6 +300,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--supervise") == 0) {
       return run_supervise_json(argc, argv);
+    }
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      return ultra::bench::run_serve_bench_json(argc, argv);
     }
     if (std::strcmp(argv[i], "--json") == 0) {
       return ultra::bench::run_sim_transport_json(argc, argv);

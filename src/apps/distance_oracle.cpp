@@ -96,30 +96,45 @@ double DistanceOracle::average_bunch_size() const {
   return static_cast<double>(total) / n_;
 }
 
-std::uint32_t DistanceOracle::query(VertexId u, VertexId v) const {
-  if (u == v) return 0;
+OracleAnswer DistanceOracle::query_traced(VertexId u, VertexId v) const {
+  if (u == v) return {0, kViaBunch};
   // Exact if v lies in u's bunch (or vice versa).
   if (const auto it = bunch_[u].find(v); it != bunch_[u].end()) {
-    return it->second;
+    return {it->second, kViaBunch};
   }
   if (const auto it = bunch_[v].find(u); it != bunch_[v].end()) {
-    return it->second;
+    return {it->second, kViaBunch};
   }
-  // Route through u's pivot; also try v's pivot and take the best.
-  std::uint32_t best = graph::kUnreachable;
-  if (pivot_[u] != graph::kInvalidVertex) {
-    const auto& row = landmark_row_[landmark_index_[pivot_[u]]];
-    if (row[v] != graph::kUnreachable) {
-      best = std::min(best, pivot_dist_[u] + row[v]);
+  // Route through u's pivot or v's pivot, whichever is shorter. Distance
+  // ties break toward the smaller landmark id — NOT toward whichever
+  // candidate happens to be evaluated first — so the attribution is stable
+  // across rebuilds and across this object vs its flattened serve image
+  // (kInvalidVertex compares above every real landmark id, so the first
+  // reachable candidate always displaces the unreachable initial state).
+  OracleAnswer best;
+  const auto consider = [&](VertexId x, VertexId y) {
+    const VertexId landmark = pivot_[x];
+    if (landmark == graph::kInvalidVertex) return;
+    const auto& row = landmark_row_[landmark_index_[landmark]];
+    if (row[y] == graph::kUnreachable) return;
+    const std::uint32_t d = pivot_dist_[x] + row[y];
+    if (d < best.dist || (d == best.dist && landmark < best.via)) {
+      best = {d, landmark};
     }
-  }
-  if (pivot_[v] != graph::kInvalidVertex) {
-    const auto& row = landmark_row_[landmark_index_[pivot_[v]]];
-    if (row[u] != graph::kUnreachable) {
-      best = std::min(best, pivot_dist_[v] + row[u]);
-    }
-  }
+  };
+  consider(u, v);
+  consider(v, u);
   return best;
+}
+
+std::vector<std::pair<VertexId, std::uint32_t>> DistanceOracle::bunch_sorted(
+    VertexId v) const {
+  std::vector<std::pair<VertexId, std::uint32_t>> out;
+  out.reserve(bunch_[v].size());
+  // NOLINTNEXTLINE(ultra-unordered-iter): collect-then-sort; order discarded
+  for (const auto& [w, d] : bunch_[v]) out.emplace_back(w, d);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace ultra::apps

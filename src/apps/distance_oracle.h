@@ -18,13 +18,35 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "graph/bfs.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 
 namespace ultra::apps {
+
+// Sentinel for OracleAnswer::via: the answer came from an exact bunch hit
+// (or u == v), not from a landmark detour.
+inline constexpr graph::VertexId kViaBunch = graph::kInvalidVertex - 1;
+
+// A distance answer plus its provenance: which structure produced the bound.
+// `via` is kViaBunch for an exact bunch (or trivial) hit, the id of the
+// serving landmark for a pivot detour, and kInvalidVertex when the pair is
+// unreachable. Ties between the two pivot candidates break toward the
+// smaller landmark id, so the attribution — not just the value — is a pure
+// function of (graph, seed) and survives rebuilds bit for bit. The flattened
+// serve-layer index (serve::FlatOracleIndex) must reproduce this field
+// exactly; the differential tests compare it, not only `dist`.
+struct OracleAnswer {
+  std::uint32_t dist = graph::kUnreachable;
+  graph::VertexId via = graph::kInvalidVertex;
+
+  friend bool operator==(const OracleAnswer&, const OracleAnswer&) = default;
+};
 
 class DistanceOracle {
  public:
@@ -34,7 +56,13 @@ class DistanceOracle {
   // Upper bound on d(u,v) with stretch <= 3; graph::kUnreachable if
   // disconnected.
   [[nodiscard]] std::uint32_t query(graph::VertexId u,
-                                    graph::VertexId v) const;
+                                    graph::VertexId v) const {
+    return query_traced(u, v).dist;
+  }
+
+  // As query(), with the serving structure attributed (see OracleAnswer).
+  [[nodiscard]] OracleAnswer query_traced(graph::VertexId u,
+                                          graph::VertexId v) const;
 
   // Total words stored (bunches + pivot tables + landmark rows).
   [[nodiscard]] std::uint64_t space_words() const noexcept { return space_; }
@@ -42,6 +70,34 @@ class DistanceOracle {
     return landmarks_.size();
   }
   [[nodiscard]] double average_bunch_size() const;
+
+  // --- read-only structure access (serve-layer flattening) -----------------
+  // These expose the oracle's tables so serve::FlatOracleIndex can snapshot
+  // them into one contiguous read-only image without re-running the
+  // construction (the index must answer bit-identically to this object).
+  [[nodiscard]] graph::VertexId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::span<const graph::VertexId> landmarks() const noexcept {
+    return landmarks_;
+  }
+  [[nodiscard]] std::span<const graph::VertexId> pivots() const noexcept {
+    return pivot_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> pivot_dists() const noexcept {
+    return pivot_dist_;
+  }
+  // BFS distance row of landmarks()[i] (all of V).
+  [[nodiscard]] std::span<const std::uint32_t> landmark_row(
+      std::size_t i) const {
+    return landmark_row_[i];
+  }
+  // Row index of landmark vertex `a` (graph::kUnreachable if not a landmark).
+  [[nodiscard]] std::uint32_t landmark_row_index(graph::VertexId a) const {
+    return landmark_index_[a];
+  }
+  // v's bunch as (member, exact distance) pairs in ascending member order —
+  // the deterministic enumeration the hash map cannot provide.
+  [[nodiscard]] std::vector<std::pair<graph::VertexId, std::uint32_t>>
+  bunch_sorted(graph::VertexId v) const;
 
  private:
   graph::VertexId n_;
@@ -52,7 +108,8 @@ class DistanceOracle {
   std::vector<std::vector<std::uint32_t>> landmark_row_;
   std::vector<std::uint32_t> landmark_index_;         // a -> row index
   // bunch_[v]: exact distances to every w strictly closer than A.
-  // ultra-lint: lookup-only(queried per (v,w); size() feeds space_ only)
+  // bunch_sorted() snapshots rows via a NOLINT'd collect-then-sort.
+  // ultra-lint: lookup-only(queried per (v,w); enumeration sorts first)
   std::vector<std::unordered_map<graph::VertexId, std::uint32_t>> bunch_;
   std::uint64_t space_ = 0;
 };

@@ -59,7 +59,7 @@ void LubyMisProtocol::on_round(sim::Mailbox& mb) {
     bool is_min = true;
     for (const sim::MessageView& m : mb.inbox()) {
       if (m.payload.empty() || m.payload[0] != kTagRank) continue;
-      ULTRA_CHECK_GE(m.payload.size(), 2);
+      ULTRA_CHECK_GE(m.payload.size(), 2u);
       const std::uint64_t their = m.payload[1];
       if (their < my_rank_[v] || (their == my_rank_[v] && m.from < v)) {
         is_min = false;

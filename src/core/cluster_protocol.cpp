@@ -259,7 +259,7 @@ void ClusterProtocol::handle_round_start(sim::Mailbox& mb) {
     for (const sim::MessageView& m : mb.inbox()) {
       if (!m.payload.empty() && m.payload[0] == kTagHorizon &&
           m.from == p1_[v]) {
-        ULTRA_CHECK_GE(m.payload.size(), 2);
+        ULTRA_CHECK_GE(m.payload.size(), 2u);
         horizon_[v] = static_cast<std::uint32_t>(m.payload[1]);
         got = true;
       }
@@ -292,7 +292,7 @@ void ClusterProtocol::read_statuses(sim::Mailbox& mb) {
   // deduplicated local list of adjacent clusters for the DIE case.
   for (const sim::MessageView& m : mb.inbox()) {
     if (m.payload.empty() || m.payload[0] != kTagStatus) continue;
-    ULTRA_CHECK_GE(m.payload.size(), 3);
+    ULTRA_CHECK_GE(m.payload.size(), 3u);
     const auto their_center = static_cast<VertexId>(m.payload[1]);
     const auto their_horizon = static_cast<std::uint32_t>(m.payload[2]);
     if (their_center == ccenter_[v]) continue;  // same cluster
@@ -453,7 +453,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
     if (m.payload.empty()) continue;
     switch (m.payload[0]) {
       case kTagCand: {
-        ULTRA_CHECK_GE(m.payload.size(), 6);
+        ULTRA_CHECK_GE(m.payload.size(), 6u);
         if (m.payload[1] == 1) {
           Candidate c{true, static_cast<VertexId>(m.payload[2]),
                       static_cast<std::uint32_t>(m.payload[3]),
@@ -471,7 +471,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
         break;
       }
       case kTagJoin: {
-        ULTRA_CHECK_GE(m.payload.size(), 6);
+        ULTRA_CHECK_GE(m.payload.size(), 6u);
         const auto new_center = static_cast<VertexId>(m.payload[1]);
         const auto new_horizon = static_cast<std::uint32_t>(m.payload[2]);
         const auto vstar = static_cast<VertexId>(m.payload[3]);
@@ -538,7 +538,7 @@ void ClusterProtocol::handle_act(sim::Mailbox& mb) {
         break;
       }
       case kTagFinish: {
-        ULTRA_CHECK_GE(m.payload.size(), 2);
+        ULTRA_CHECK_GE(m.payload.size(), 2u);
         finish_seen = true;
         finish_aborted = m.payload[1] == 1;
         break;

@@ -1,0 +1,131 @@
+#include "serve/flat_index.h"
+
+#include <algorithm>
+
+#include "check/check.h"
+
+namespace ultra::serve {
+
+using graph::VertexId;
+
+namespace {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t fold(std::uint64_t h, std::uint64_t w) noexcept {
+  return (h ^ w) * kFnvPrime;
+}
+
+}  // namespace
+
+FlatOracleIndex::FlatOracleIndex(const apps::DistanceOracle& oracle)
+    : n_(oracle.num_vertices()) {
+  // Bunches: one CSR pass in vertex order; rows arrive already sorted by
+  // member id from bunch_sorted, which is what the binary-search probe needs.
+  bunch_off_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  std::uint64_t total = 0;
+  std::vector<std::vector<std::pair<VertexId, std::uint32_t>>> rows;
+  rows.reserve(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    rows.push_back(oracle.bunch_sorted(v));
+    total += rows.back().size();
+    bunch_off_[v + 1] = total;
+  }
+  bunch_key_.reserve(total);
+  bunch_dist_.reserve(total);
+  for (VertexId v = 0; v < n_; ++v) {
+    for (const auto& [w, d] : rows[v]) {
+      ULTRA_CHECK(bunch_key_.size() == bunch_off_[v] ||
+                  bunch_key_.back() < w)
+          << "bunch row " << v << " not strictly ascending at member " << w;
+      bunch_key_.push_back(w);
+      bunch_dist_.push_back(d);
+    }
+  }
+
+  // Pivot tables verbatim; the landmark rows move into one contiguous slab
+  // in landmark-list order (ascending landmark id — the sampling loop visits
+  // vertices in id order), so row_of_ is ascending over landmarks_.
+  pivot_.assign(oracle.pivots().begin(), oracle.pivots().end());
+  pivot_dist_.assign(oracle.pivot_dists().begin(), oracle.pivot_dists().end());
+  landmarks_.assign(oracle.landmarks().begin(), oracle.landmarks().end());
+  row_of_.assign(n_, graph::kUnreachable);
+  slab_.reserve(landmarks_.size() * static_cast<std::size_t>(n_));
+  for (std::size_t r = 0; r < landmarks_.size(); ++r) {
+    const VertexId a = landmarks_[r];
+    ULTRA_CHECK_EQ(oracle.landmark_row_index(a), r)
+        << "landmark list and row table disagree for landmark " << a;
+    row_of_[a] = static_cast<std::uint32_t>(r);
+    const auto row = oracle.landmark_row(r);
+    ULTRA_CHECK_EQ(row.size(), static_cast<std::size_t>(n_));
+    slab_.insert(slab_.end(), row.begin(), row.end());
+  }
+
+  // Cross-check the pivot contract on the flattened image: p(v)'s slab row
+  // must report exactly pivot_dist_[v] at v (the min-id nearest landmark the
+  // multi-source BFS committed to). A mismatch means the flattening and the
+  // oracle would tie-break differently — the bug class the golden digest
+  // below is pinned against.
+  for (VertexId v = 0; v < n_; ++v) {
+    if (pivot_[v] == graph::kInvalidVertex) {
+      ULTRA_CHECK_EQ(pivot_dist_[v], graph::kUnreachable)
+          << "vertex " << v << " has no pivot but a finite pivot distance";
+      continue;
+    }
+    ULTRA_CHECK_EQ(slab_[static_cast<std::size_t>(row_of_[pivot_[v]]) * n_ + v],
+                   pivot_dist_[v])
+        << "pivot row disagrees with pivot_dist at vertex " << v;
+  }
+
+  std::uint64_t h = kFnvOffset;
+  h = fold(h, n_);
+  h = fold(h, landmarks_.size());
+  for (const std::uint64_t off : bunch_off_) h = fold(h, off);
+  for (const VertexId k : bunch_key_) h = fold(h, k);
+  for (const std::uint32_t d : bunch_dist_) h = fold(h, d);
+  for (const VertexId p : pivot_) h = fold(h, p);
+  for (const std::uint32_t d : pivot_dist_) h = fold(h, d);
+  for (const VertexId a : landmarks_) h = fold(h, a);
+  for (const std::uint32_t d : slab_) h = fold(h, d);
+  digest_ = h;
+}
+
+apps::OracleAnswer FlatOracleIndex::query_traced(VertexId u, VertexId v) const {
+  ULTRA_CHECK_BOUNDS(u < n_ && v < n_)
+      << "query (" << u << ", " << v << ") out of range n=" << n_;
+  if (u == v) return {0, apps::kViaBunch};
+  const auto probe = [&](VertexId row, VertexId key) -> const std::uint32_t* {
+    const auto keys = bunch_keys(row);
+    const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+    if (it == keys.end() || *it != key) return nullptr;
+    return &bunch_dist_[bunch_off_[row] + (it - keys.begin())];
+  };
+  if (const std::uint32_t* d = probe(u, v)) return {*d, apps::kViaBunch};
+  if (const std::uint32_t* d = probe(v, u)) return {*d, apps::kViaBunch};
+  // Pivot detour; same min-(distance, landmark-id) selection as
+  // DistanceOracle::query_traced — the two must stay bit-identical.
+  apps::OracleAnswer best;
+  const auto consider = [&](VertexId x, VertexId y) {
+    const VertexId landmark = pivot_[x];
+    if (landmark == graph::kInvalidVertex) return;
+    const std::uint32_t to_y =
+        slab_[static_cast<std::size_t>(row_of_[landmark]) * n_ + y];
+    if (to_y == graph::kUnreachable) return;
+    const std::uint32_t d = pivot_dist_[x] + to_y;
+    if (d < best.dist || (d == best.dist && landmark < best.via)) {
+      best = {d, landmark};
+    }
+  };
+  consider(u, v);
+  consider(v, u);
+  return best;
+}
+
+std::uint64_t FlatOracleIndex::space_words() const noexcept {
+  return bunch_off_.size() + bunch_key_.size() + bunch_dist_.size() +
+         pivot_.size() + pivot_dist_.size() + landmarks_.size() +
+         row_of_.size() + slab_.size();
+}
+
+}  // namespace ultra::serve

@@ -46,7 +46,7 @@ void TruncatedMinIdFlood::on_round(Mailbox& mb) {
     // id among them is the min-id source at distance `now`.
     dist_[v] = now;
     for (const MessageView& msg : mb.inbox()) {
-      ULTRA_CHECK_GE(msg.payload.size(), 1);
+      ULTRA_CHECK_GE(msg.payload.size(), 1u);
       if (msg.payload[0] < nearest_[v]) {
         nearest_[v] = static_cast<VertexId>(msg.payload[0]);
         parent_[v] = msg.from;

@@ -100,6 +100,61 @@ TEST(CompactRouting, LandmarkDestinationsRoutable) {
   }
 }
 
+TEST(CompactRouting, StretchFuzzAcrossFamilies) {
+  // Differential routing stretch across structurally different families:
+  // delivered routes never exceed 3x the exact BFS distance, on every
+  // family x seed combination (the serve-layer differential suite covers
+  // the distance oracle; this is its routing counterpart).
+  for (int family = 0; family < 4; ++family) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      util::Rng rng(seed * 100 + static_cast<std::uint64_t>(family));
+      Graph g;
+      switch (family) {
+        case 0: g = graph::connected_gnm(120, 480, rng); break;
+        case 1: g = graph::random_regular(120, 4, rng); break;
+        case 2: g = graph::random_tree(130, rng); break;
+        default: g = graph::preferential_attachment(110, 3, rng); break;
+      }
+      const CompactRouting scheme(g, seed);
+      for (VertexId u = 0; u < g.num_vertices(); u += 11) {
+        const auto dist = graph::bfs_distances(g, u);
+        for (VertexId v = 0; v < g.num_vertices(); v += 3) {
+          if (u == v) continue;
+          const auto route = scheme.route(u, v);
+          ASSERT_TRUE(route.delivered)
+              << "family " << family << " seed " << seed << " " << u << "->"
+              << v;
+          ASSERT_LE(route.path.size() - 1, 3u * dist[v])
+              << "family " << family << " seed " << seed << " " << u << "->"
+              << v;
+          for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+            ASSERT_TRUE(g.has_edge(route.path[i], route.path[i + 1]));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CompactRouting, HeaderSizeIsConstantAndBounded) {
+  // The packet header is the destination address: exactly three machine
+  // words (node, landmark, dfs_number) regardless of n — the compact-routing
+  // contract — and every field stays inside its documented range.
+  static_assert(sizeof(CompactRouting::Address) <=
+                    3 * sizeof(graph::VertexId) + alignof(graph::VertexId),
+                "Address must stay a constant-size 3-word header");
+  util::Rng rng(31);
+  const Graph g = graph::connected_gnm(400, 2000, rng);
+  const CompactRouting scheme(g, 31);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = scheme.address_of(v);
+    EXPECT_EQ(a.node, v);
+    EXPECT_NE(a.landmark, graph::kInvalidVertex);
+    EXPECT_LT(a.landmark, g.num_vertices());
+    EXPECT_LT(a.dfs_number, g.num_vertices());
+  }
+}
+
 TEST(CompactRouting, AddressesAreCompact) {
   util::Rng rng(19);
   const Graph g = graph::connected_gnm(100, 400, rng);

@@ -52,6 +52,64 @@ function(ultra_validate_record record context)
     return()
   endif()
 
+  # Query-serving records (micro_core --serve): latency percentiles + qps
+  # over a seeded workload against the flattened oracle index.
+  if(schema STREQUAL "ultra.bench_query.v1")
+    foreach(key bench cpu_cores workload mix distribution theta threads
+                batch_ops sample_every build_seconds wall_seconds qps latency
+                result_checksum point_ops route_ops scan_ops unreachable
+                index peak_rss_bytes)
+      string(JSON val ERROR_VARIABLE jerr GET "${record}" ${key})
+      if(jerr)
+        message(FATAL_ERROR
+          "${context}: missing required key '${key}': ${jerr}")
+      endif()
+    endforeach()
+    foreach(key n m seed ops)
+      string(JSON val ERROR_VARIABLE jerr GET "${record}" workload ${key})
+      if(jerr)
+        message(FATAL_ERROR
+          "${context}: missing required workload key '${key}': ${jerr}")
+      endif()
+    endforeach()
+    foreach(key samples p50_us p99_us)
+      string(JSON val ERROR_VARIABLE jerr GET "${record}" latency ${key})
+      if(jerr)
+        message(FATAL_ERROR
+          "${context}: missing required latency key '${key}': ${jerr}")
+      endif()
+    endforeach()
+    foreach(key space_words landmarks digest)
+      string(JSON val ERROR_VARIABLE jerr GET "${record}" index ${key})
+      if(jerr)
+        message(FATAL_ERROR
+          "${context}: missing required index key '${key}': ${jerr}")
+      endif()
+    endforeach()
+    string(JSON mix_point GET "${record}" mix point)
+    string(JSON mix_route GET "${record}" mix route)
+    string(JSON mix_scan GET "${record}" mix scan)
+    math(EXPR mix_sum "${mix_point} + ${mix_route} + ${mix_scan}")
+    if(NOT mix_sum EQUAL 100)
+      message(FATAL_ERROR
+        "${context}: mix {${mix_point},${mix_route},${mix_scan}} sums to "
+        "${mix_sum}, not 100")
+    endif()
+    string(JSON dist GET "${record}" distribution)
+    if(NOT dist STREQUAL "uniform" AND NOT dist STREQUAL "zipfian")
+      message(FATAL_ERROR "${context}: unexpected distribution '${dist}'")
+    endif()
+    string(JSON threads GET "${record}" threads)
+    if(threads LESS 1)
+      message(FATAL_ERROR "${context}: nonpositive thread count '${threads}'")
+    endif()
+    string(JSON ops GET "${record}" workload ops)
+    if(ops LESS 1)
+      message(FATAL_ERROR "${context}: degenerate record (ops=${ops})")
+    endif()
+    return()
+  endif()
+
   if(NOT schema STREQUAL "ultra.bench_sim.v2" AND
      NOT schema STREQUAL "ultra.bench_sim.v3")
     message(FATAL_ERROR "${context}: unexpected schema '${schema}'")
@@ -116,14 +174,29 @@ function(ultra_validate_record record context)
 endfunction()
 
 # The {workload, protocol, execution, threads} identity of a measurement
-# record, used for duplicate rejection and baseline matching.
+# record, used for duplicate rejection and baseline matching. Query-serving
+# records identify by {workload, distribution, theta, mix, threads} instead
+# (they have no protocol/execution axes); the two key formats cannot collide.
 function(ultra_record_key record out_var)
+  string(JSON schema GET "${record}" schema)
   string(JSON wl_n GET "${record}" workload n)
   string(JSON wl_m GET "${record}" workload m)
   string(JSON wl_seed GET "${record}" workload seed)
+  string(JSON threads GET "${record}" threads)
+  if(schema STREQUAL "ultra.bench_query.v1")
+    string(JSON wl_ops GET "${record}" workload ops)
+    string(JSON dist GET "${record}" distribution)
+    string(JSON theta GET "${record}" theta)
+    string(JSON mix_point GET "${record}" mix point)
+    string(JSON mix_route GET "${record}" mix route)
+    string(JSON mix_scan GET "${record}" mix scan)
+    set(${out_var}
+        "query/n${wl_n}/m${wl_m}/s${wl_seed}/o${wl_ops}/${dist}/th${theta}/mix${mix_point}-${mix_route}-${mix_scan}/t${threads}"
+        PARENT_SCOPE)
+    return()
+  endif()
   string(JSON protocol GET "${record}" protocol)
   string(JSON execution GET "${record}" execution)
-  string(JSON threads GET "${record}" threads)
   set(${out_var}
       "n${wl_n}/m${wl_m}/s${wl_seed}/${protocol}/${execution}/t${threads}"
       PARENT_SCOPE)
@@ -172,6 +245,51 @@ if(DEFINED BENCH_BIN)
     message(FATAL_ERROR
       "bench-smoke: parallel record reports execution=${execution} "
       "threads=${threads}, expected parallel/2")
+  endif()
+
+  # The query-serving mode must emit a valid ultra.bench_query.v1 record,
+  # and its checksum must not depend on the worker count.
+  execute_process(
+    COMMAND ${BENCH_BIN} --serve --n 300 --m 900 --ops 5000 --mix 80,10,10
+            --dist zipfian --theta 0.9 --threads 1
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+    TIMEOUT 120)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "bench-smoke: micro_core --serve exited with ${rc}\nstderr: ${err}")
+  endif()
+  string(STRIP "${out}" record)
+  message(STATUS "bench-smoke serve record: ${record}")
+  ultra_validate_record("${record}" "bench-smoke (serve)")
+  string(JSON schema GET "${record}" schema)
+  if(NOT schema STREQUAL "ultra.bench_query.v1")
+    message(FATAL_ERROR
+      "bench-smoke: --serve emits schema '${schema}', expected "
+      "ultra.bench_query.v1")
+  endif()
+  string(JSON serve_checksum GET "${record}" result_checksum)
+  execute_process(
+    COMMAND ${BENCH_BIN} --serve --n 300 --m 900 --ops 5000 --mix 80,10,10
+            --dist zipfian --theta 0.9 --threads 4
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+    TIMEOUT 120)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "bench-smoke: micro_core --serve --threads 4 exited with ${rc}\n"
+      "stderr: ${err}")
+  endif()
+  string(STRIP "${out}" record)
+  ultra_validate_record("${record}" "bench-smoke (serve, 4 threads)")
+  string(JSON serve_checksum4 GET "${record}" result_checksum)
+  if(NOT serve_checksum STREQUAL serve_checksum4)
+    message(FATAL_ERROR
+      "bench-smoke: serve result_checksum differs across thread counts "
+      "(1 thread: ${serve_checksum}, 4 threads: ${serve_checksum4}) — the "
+      "checksum must be thread-count-invariant")
   endif()
   message(STATUS "bench-smoke: OK")
 endif()

@@ -18,6 +18,13 @@
 # the previous array. Rerunning never appends to or corrupts an existing
 # file.
 #
+# The array also carries the query-serving sweep (micro_core --serve,
+# ultra.bench_query.v1): 1e6 queries against the flattened oracle index of an
+# n=1e5 graph under uniform and zipfian key skew, plus a smaller route-heavy
+# mix at n=1e4 (compact-routing table construction is quadratic, so routing
+# stays off the large workload). Serve thread sweeps follow the same
+# single-core gating as the transport parallel sweep.
+#
 # Usage: tools/run_bench.sh [--force-parallel] [output-path]
 #                           (default output: BENCH_sim.json)
 set -euo pipefail
@@ -78,7 +85,30 @@ fi
              $exec_args | tr -d '\n'
     done
   done
-  for note in ${NOTES[@]+"${NOTES[@]}"}; do
+  # Query-serving sweep. Thread counts beyond 1 are gated exactly like the
+  # transport parallel sweep: on one core they measure contention, not
+  # serving throughput. The checksum is thread-count-invariant either way
+  # (bench_smoke asserts it), so the gate only affects which rows exist.
+  SERVE_THREADS=(1)
+  if [ "$CORES" -gt 1 ] || [ "$FORCE_PARALLEL" -eq 1 ]; then
+    SERVE_THREADS+=(2 4)
+  else
+    NOTES2=("{\"schema\": \"ultra.bench_note.v1\", \"note\": \"SKIPPED (1 core)\", \"skipped\": \"serve_thread_sweep\", \"cpu_cores\": $CORES}")
+  fi
+  for dist_args in "--dist uniform" "--dist zipfian --theta 0.99"; do
+    for t in "${SERVE_THREADS[@]}"; do
+      [ "$first" -eq 1 ] && first=0 || echo ","
+      # shellcheck disable=SC2086
+      "$BIN" --serve --n 100000 --m 1000000 --seed 1 --ops 1000000 \
+             --mix 90,0,10 $dist_args --threads "$t" | tr -d '\n'
+    done
+  done
+  # Route-heavy mix at a size where the quadratic routing-table build is
+  # cheap; exercises all three op types in one committed record.
+  [ "$first" -eq 1 ] && first=0 || echo ","
+  "$BIN" --serve --n 10000 --m 100000 --seed 1 --ops 200000 \
+         --mix 60,20,20 --dist zipfian --theta 0.99 --threads 1 | tr -d '\n'
+  for note in ${NOTES[@]+"${NOTES[@]}"} ${NOTES2[@]+"${NOTES2[@]}"}; do
     [ "$first" -eq 1 ] && first=0 || echo ","
     printf '%s' "$note"
   done
