@@ -1,0 +1,189 @@
+// The overlay-maintenance benchmark (micro_core --maintain): run a seeded
+// epoch loop of churn + fault damage + certified repair over a generated
+// graph and emit one ultra.bench_maintain.v1 record — the SLO numbers
+// (certified uptime, repair-latency percentiles), per-tier epoch counts, the
+// fault-damage counters, and the chained epoch trace digest. The digest is a
+// pure function of (workload, seed, rates): tools/check_bench_json.cmake's
+// bench smoke reruns the same configuration sequentially and at 4 worker
+// threads and requires byte-identical digests.
+//
+// Kept in its own header (included only by micro_core.cpp) so the other
+// bench targets do not take a link dependency on ultra_maintain.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common.h"
+#include "graph/generators.h"
+#include "maintain/maintenance.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+
+namespace ultra::bench {
+
+struct MaintainBenchOptions {
+  std::string generator = "er";  // "er" (connected_gnm) or "rmat"
+  graph::VertexId n = 512;
+  std::uint64_t m = 2048;
+  std::uint64_t seed = 1;
+  unsigned k = 3;
+  std::uint64_t epochs = 50;
+  std::uint64_t epoch_rounds = 32;
+  std::uint64_t inserts_per_epoch = 8;
+  std::uint64_t deletes_per_epoch = 4;
+  sim::FaultRates faults;
+  sim::ExecutionMode exec = sim::ExecutionMode::kSequential;
+  unsigned threads = 0;
+  bool publish = false;  // exercise the snapshot store each certified epoch
+};
+
+inline graph::Graph maintain_workload(const MaintainBenchOptions& opt) {
+  util::Rng rng(opt.seed);
+  if (opt.generator == "rmat") return graph::rmat_graph(opt.n, opt.m, rng);
+  return graph::connected_gnm(opt.n, opt.m, rng);
+}
+
+inline std::string maintain_bench_json(const MaintainBenchOptions& opt) {
+  const graph::Graph g = maintain_workload(opt);
+
+  maintain::MaintenanceOptions mopt;
+  mopt.k = opt.k;
+  mopt.seed = opt.seed;
+  mopt.epoch_rounds = opt.epoch_rounds;
+  mopt.inserts_per_epoch = opt.inserts_per_epoch;
+  mopt.deletes_per_epoch = opt.deletes_per_epoch;
+  mopt.fault_rates = opt.faults;
+  mopt.exec = opt.exec;
+  mopt.exec_threads = opt.threads;
+  serve::SnapshotStore store;
+  if (opt.publish) mopt.store = &store;
+
+  const WallClock clock;
+  maintain::MaintenanceEngine engine(g, mopt);
+  engine.run(opt.epochs);
+  const double wall = clock.seconds();
+
+  const maintain::SloSummary slo = engine.summary();
+  std::uint64_t all_certified = 1;
+  std::uint64_t published = 0;
+  for (const maintain::EpochRecord& rec : engine.history()) {
+    if (!rec.certified) all_certified = 0;
+    if (rec.published) ++published;
+  }
+
+  JsonObject workload;
+  workload.field("generator", opt.generator)
+      .field("n", std::uint64_t{opt.n})
+      .field("m", opt.m)
+      .field("graph_edges", std::uint64_t{g.num_edges()})
+      .field("seed", opt.seed);
+  JsonObject churn;
+  churn.field("inserts_per_epoch", opt.inserts_per_epoch)
+      .field("deletes_per_epoch", opt.deletes_per_epoch)
+      .field("applied", slo.total_churn);
+  JsonObject faults;
+  faults.field("crash_rate", opt.faults.crash)
+      .field("restart_rate", opt.faults.restart)
+      .field("link_rate", opt.faults.link_down)
+      .field("drop_rate", opt.faults.drop)
+      .field("dropped_spanner_edges", slo.total_damage)
+      .field("escalation_dropped", slo.escalation_faults.dropped)
+      .field("escalation_duplicated", slo.escalation_faults.duplicated)
+      .field("escalation_delayed", slo.escalation_faults.delayed)
+      .field("escalation_crashed", slo.escalation_faults.crashed)
+      .field("escalation_restarted", slo.escalation_faults.restarted);
+  JsonObject record;
+  record.field("schema", std::string("ultra.bench_maintain.v1"))
+      .field("bench", std::string("maintain"))
+      .field("cpu_cores", std::uint64_t{detected_cpu_cores()})
+      .raw("workload", workload.str())
+      .field("k", std::uint64_t{opt.k})
+      .field("epochs", slo.epochs)
+      .field("epoch_rounds", opt.epoch_rounds)
+      .raw("churn", churn.str())
+      .raw("faults", faults.str())
+      .field("execution",
+             std::string(opt.exec == sim::ExecutionMode::kParallel
+                             ? "parallel"
+                             : "sequential"))
+      .field("threads",
+             std::uint64_t{opt.exec == sim::ExecutionMode::kParallel
+                               ? (opt.threads == 0 ? detected_cpu_cores()
+                                                   : opt.threads)
+                               : 1u})
+      .field("certified_uptime", slo.certified_uptime)
+      .field("repair_p50_rounds", slo.repair_p50_rounds)
+      .field("repair_p99_rounds", slo.repair_p99_rounds)
+      .field("clean_epochs", slo.clean_epochs)
+      .field("patch_epochs", slo.patch_epochs)
+      .field("escalations", slo.escalations)
+      .field("all_certified", all_certified)
+      .field("published_snapshots", published)
+      .field("final_spanner_edges", engine.overlay().spanner_size())
+      .field("final_graph_edges", engine.overlay().graph_size())
+      .field("trace_digest", engine.trace_digest())
+      .field("wall_seconds", wall)
+      .field("peak_rss_bytes", peak_rss_bytes());
+  return record.str();
+}
+
+// `argv`-style driver for micro_core --maintain: parses --gen er|rmat, --n,
+// --m, --seed, --k, --epochs, --epoch-rounds, --inserts, --deletes,
+// --faults <spec>, --exec sequential|parallel, --threads, --publish, and
+// prints one ultra.bench_maintain.v1 record to stdout.
+inline int run_maintain_bench_json(int argc, char** argv) {
+  MaintainBenchOptions opt;
+  auto next_u64 = [&](int& i) -> std::uint64_t {
+    return i + 1 < argc ? std::strtoull(argv[++i], nullptr, 10) : 0;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--maintain" || arg == "--json") continue;
+    if (arg == "--gen" && i + 1 < argc) {
+      opt.generator = argv[++i];
+      if (opt.generator != "er" && opt.generator != "rmat") {
+        std::cerr << "unknown --gen (want er|rmat): " << opt.generator << "\n";
+        return 2;
+      }
+    } else if (arg == "--n") {
+      opt.n = static_cast<graph::VertexId>(next_u64(i));
+    } else if (arg == "--m") {
+      opt.m = next_u64(i);
+    } else if (arg == "--seed") {
+      opt.seed = next_u64(i);
+    } else if (arg == "--k") {
+      opt.k = static_cast<unsigned>(next_u64(i));
+    } else if (arg == "--epochs") {
+      opt.epochs = next_u64(i);
+    } else if (arg == "--epoch-rounds") {
+      opt.epoch_rounds = next_u64(i);
+    } else if (arg == "--inserts") {
+      opt.inserts_per_epoch = next_u64(i);
+    } else if (arg == "--deletes") {
+      opt.deletes_per_epoch = next_u64(i);
+    } else if (arg == "--faults" && i + 1 < argc) {
+      if (!parse_fault_rates(argv[++i], &opt.faults)) {
+        std::cerr << "malformed --faults spec: " << argv[i] << "\n";
+        return 2;
+      }
+    } else if (arg == "--exec" && i + 1 < argc) {
+      opt.exec = std::string(argv[++i]) == "parallel"
+                     ? sim::ExecutionMode::kParallel
+                     : sim::ExecutionMode::kSequential;
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<unsigned>(next_u64(i));
+    } else if (arg == "--publish") {
+      opt.publish = true;
+    } else {
+      std::cerr << "unknown --maintain option: " << arg << "\n";
+      return 2;
+    }
+  }
+  std::cout << maintain_bench_json(opt) << "\n";
+  return 0;
+}
+
+}  // namespace ultra::bench

@@ -23,6 +23,12 @@
 // supervisor (sim::supervised_spanner) over the same workload and prints one
 // JSON provenance record: the producing tier, the certified stretch bound and
 // the full attempt trail.
+//
+// `micro_core --maintain [--gen er|rmat --n N --m M --seed S --k K
+// --epochs E --epoch-rounds R --inserts I --deletes D --faults SPEC
+// --exec sequential|parallel --threads T --publish]` runs the epoch-driven
+// overlay-maintenance loop (churn + fault damage + certified repair) and
+// prints one ultra.bench_maintain.v1 record (see bench/maintain_bench.h).
 
 #include <benchmark/benchmark.h>
 
@@ -36,6 +42,7 @@
 #include "graph/bfs.h"
 #include "graph/contraction.h"
 #include "graph/generators.h"
+#include "maintain_bench.h"
 #include "sim/flood.h"
 #include "sim/network.h"
 #include "sim/supervisor.h"
@@ -303,6 +310,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--serve") == 0) {
       return ultra::bench::run_serve_bench_json(argc, argv);
+    }
+    if (std::strcmp(argv[i], "--maintain") == 0) {
+      return ultra::bench::run_maintain_bench_json(argc, argv);
     }
     if (std::strcmp(argv[i], "--json") == 0) {
       return ultra::bench::run_sim_transport_json(argc, argv);

@@ -105,6 +105,10 @@ bool DynamicSpanner::insert(VertexId u, VertexId v) {
 }
 
 std::size_t DynamicSpanner::erase(VertexId u, VertexId v) {
+  return erase_reported(u, v).promoted;
+}
+
+RepairReport DynamicSpanner::erase_reported(VertexId u, VertexId v) {
   ULTRA_CHECK_ARG(has_edge(u, v))
       << "DynamicSpanner::erase: edge (" << u << "," << v << ") not present";
   const bool was_spanner = in_spanner(u, v);
@@ -112,29 +116,56 @@ std::size_t DynamicSpanner::erase(VertexId u, VertexId v) {
   // Candidate set BEFORE mutating the spanner: only edges with an endpoint
   // within 2k-2 spanner-hops of u (equivalently v: the balls overlap via the
   // deleted edge) can lose their last short certificate.
-  std::vector<VertexId> region;
-  if (was_spanner) {
-    region = spanner_ball(u, 2 * k_ - 1);
-    const auto more = spanner_ball(v, 2 * k_ - 1);
-    region.insert(region.end(), more.begin(), more.end());
-    std::sort(region.begin(), region.end());
-    region.erase(std::unique(region.begin(), region.end()), region.end());
-  }
+  RepairReport report;
+  if (was_spanner) report.invalidated = invalidated_region(u, v);
 
   edges_.erase(graph::edge_key(graph::make_edge(u, v)));
   remove_from(adj_[u], v);
   remove_from(adj_[v], u);
   --m_;
-  if (!was_spanner) return 0;
+  if (!was_spanner) return report;
   spanner_remove(u, v);
 
+  report.promoted = patch(report.invalidated);
+  return report;
+}
+
+std::vector<VertexId> DynamicSpanner::invalidated_region(VertexId u,
+                                                         VertexId v) const {
+  std::vector<VertexId> region = spanner_ball(u, 2 * k_ - 1);
+  const auto more = spanner_ball(v, 2 * k_ - 1);
+  region.insert(region.end(), more.begin(), more.end());
+  std::sort(region.begin(), region.end());
+  region.erase(std::unique(region.begin(), region.end()), region.end());
+  return region;
+}
+
+std::vector<VertexId> DynamicSpanner::drop_spanner_edge(VertexId u,
+                                                        VertexId v) {
+  ULTRA_CHECK_ARG(in_spanner(u, v))
+      << "DynamicSpanner::drop_spanner_edge: (" << u << "," << v
+      << ") not in the spanner";
+  std::vector<VertexId> region = invalidated_region(u, v);
+  spanner_remove(u, v);
+  return region;
+}
+
+std::size_t DynamicSpanner::patch(const std::vector<VertexId>& region,
+                                  const std::vector<bool>& unavailable) {
+  ULTRA_CHECK_ARG(unavailable.empty() || unavailable.size() == adj_.size())
+      << "DynamicSpanner::patch: unavailable mask has size "
+      << unavailable.size() << ", expected 0 or " << adj_.size();
+  const auto down = [&](VertexId x) {
+    return !unavailable.empty() && unavailable[x];
+  };
   // Re-offer every non-spanner edge incident to the affected region. A
   // single pass suffices: promotions only shorten spanner distances, so an
   // edge found satisfied stays satisfied.
   std::size_t promoted = 0;
   for (const VertexId x : region) {
+    if (down(x)) continue;
     for (const VertexId y : adj_[x]) {
-      if (x > y || in_spanner(x, y)) continue;
+      if (x > y || down(y) || in_spanner(x, y)) continue;
       if (!spanner_reachable(x, y, 2 * k_ - 1)) {
         spanner_add(x, y);
         ++promoted;
@@ -142,6 +173,24 @@ std::size_t DynamicSpanner::erase(VertexId u, VertexId v) {
     }
   }
   return promoted;
+}
+
+void DynamicSpanner::reseed_spanner(const std::vector<graph::Edge>& base) {
+  spanner_edges_.clear();
+  for (auto& list : spanner_adj_) list.clear();
+  spanner_m_ = 0;
+  for (const graph::Edge& e : base) {
+    if (!has_edge(e.u, e.v) || in_spanner(e.u, e.v)) continue;
+    spanner_add(e.u, e.v);
+  }
+  // Greedy sweep of all remaining graph edges in deterministic order; one
+  // pass suffices (promotions only shorten spanner distances).
+  for (VertexId u = 0; u < adj_.size(); ++u) {
+    for (const VertexId v : adj_[u]) {
+      if (u > v || in_spanner(u, v)) continue;
+      if (!spanner_reachable(u, v, 2 * k_ - 1)) spanner_add(u, v);
+    }
+  }
 }
 
 graph::Graph DynamicSpanner::graph_snapshot() const {

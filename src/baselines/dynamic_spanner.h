@@ -17,12 +17,24 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace ultra::baselines {
+
+// What a deletion repair touched: the set of vertices whose local spanner
+// neighbourhood may have changed (the union of the 2k-1 spanner balls around
+// the deleted edge's endpoints, measured BEFORE the mutation), plus how many
+// formerly-discarded edges the repair promoted. The invalidated list is
+// sorted and duplicate-free; maintenance layers use it to decide which
+// clusters need re-certification.
+struct RepairReport {
+  std::vector<graph::VertexId> invalidated;
+  std::size_t promoted = 0;
+};
 
 class DynamicSpanner {
  public:
@@ -36,9 +48,50 @@ class DynamicSpanner {
   // promoted into the spanner by the repair. Throws if the edge is absent.
   std::size_t erase(graph::VertexId u, graph::VertexId v);
 
+  // As erase(), but also reports the invalidated region. Deleting a
+  // non-spanner edge invalidates nothing (empty report).
+  RepairReport erase_reported(graph::VertexId u, graph::VertexId v);
+
+  // Remove (u, v) from the spanner WITHOUT touching the underlying graph and
+  // WITHOUT repairing — this models fault damage (a crashed endpoint or link
+  // outage knocks the edge out of the overlay) rather than churn. Returns the
+  // invalidated region (as in erase_reported) so the caller can patch() it
+  // later; the stretch invariant is intentionally broken until then. Throws
+  // if the edge is not currently in the spanner.
+  [[nodiscard]] std::vector<graph::VertexId> drop_spanner_edge(
+      graph::VertexId u, graph::VertexId v);
+
+  // Repair pass over `region`: re-offer every non-spanner edge with an
+  // endpoint in the region to the greedy filter. `unavailable` (empty, or
+  // size n) marks vertices that cannot participate — edges touching them are
+  // not re-offered (a crashed node cannot ack a promotion). Returns the
+  // number of promoted edges. After patching with no unavailable vertices,
+  // the invariant holds on the region provided it held outside it.
+  std::size_t patch(const std::vector<graph::VertexId>& region,
+                    const std::vector<bool>& unavailable = {});
+
+  // Discard the current spanner and rebuild around `base`: every base edge
+  // that exists in the graph is adopted unconditionally, then all remaining
+  // graph edges are swept through the greedy filter in deterministic
+  // (vertex, insertion) order. Used when an external rebuild (the supervised
+  // fallback chain) produced a replacement overlay that must be re-seated
+  // under the exact 2k-1 invariant.
+  void reseed_spanner(const std::vector<graph::Edge>& base);
+
   [[nodiscard]] bool has_edge(graph::VertexId u, graph::VertexId v) const;
   [[nodiscard]] bool in_spanner(graph::VertexId u, graph::VertexId v) const;
 
+  // v's current spanner neighbours, in promotion order. Invalidated by any
+  // mutation — copy before a loop that drops edges.
+  [[nodiscard]] std::span<const graph::VertexId> spanner_neighbors(
+      graph::VertexId v) const {
+    return spanner_adj_[v];
+  }
+
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] graph::VertexId vertex_count() const noexcept {
+    return static_cast<graph::VertexId>(adj_.size());
+  }
   [[nodiscard]] std::uint64_t graph_size() const noexcept { return m_; }
   [[nodiscard]] std::uint64_t spanner_size() const noexcept {
     return spanner_m_;
@@ -52,6 +105,8 @@ class DynamicSpanner {
   [[nodiscard]] bool invariant_holds() const;
 
  private:
+  [[nodiscard]] std::vector<graph::VertexId> invalidated_region(
+      graph::VertexId u, graph::VertexId v) const;
   [[nodiscard]] bool spanner_reachable(graph::VertexId u, graph::VertexId v,
                                        std::uint32_t limit) const;
   [[nodiscard]] std::vector<graph::VertexId> spanner_ball(

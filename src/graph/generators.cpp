@@ -149,6 +149,50 @@ Graph preferential_attachment(VertexId n, std::uint32_t k, util::Rng& rng) {
   return Graph::from_edges(n, std::move(edges));
 }
 
+Graph rmat_graph(VertexId n, std::uint64_t m, util::Rng& rng, double a,
+                 double b, double c) {
+  ULTRA_CHECK_ARG(n > 0 && (n & (n - 1)) == 0)
+      << "rmat_graph: n = " << n << " must be a power of two";
+  ULTRA_CHECK_ARG(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0)
+      << "rmat_graph: quadrant probabilities must be nonnegative and "
+         "a + b + c <= 1";
+  if (n < 2) return Graph::from_edges(n, {});
+  std::uint32_t levels = 0;
+  while ((VertexId{1} << levels) < n) ++levels;
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (std::uint32_t level = 0; level < levels; ++level) {
+      // Per-level ±10% multiplicative noise on (a, b, c), renormalized — the
+      // standard R-MAT smoothing; all draws come from the seeded Rng.
+      const double na = a * (0.9 + 0.2 * rng.next_double());
+      const double nb = b * (0.9 + 0.2 * rng.next_double());
+      const double nc = c * (0.9 + 0.2 * rng.next_double());
+      const double nd = (1.0 - a - b - c) * (0.9 + 0.2 * rng.next_double());
+      const double norm = na + nb + nc + nd;
+      const double r = rng.next_double() * (norm > 0.0 ? norm : 1.0);
+      u <<= 1;
+      v <<= 1;
+      if (r < na) {
+        // top-left: no bits set
+      } else if (r < na + nb) {
+        v |= 1;
+      } else if (r < na + nb + nc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;  // drop self-loops; duplicates collapse later
+    edges.push_back(make_edge(u, v));
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
 Graph path_graph(VertexId n) {
   std::vector<Edge> edges;
   for (VertexId v = 1; v < n; ++v) edges.push_back(Edge{v - 1, v});

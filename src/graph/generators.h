@@ -40,6 +40,20 @@ namespace ultra::graph {
 [[nodiscard]] Graph preferential_attachment(VertexId n, std::uint32_t k,
                                             util::Rng& rng);
 
+// R-MAT / stochastic-Kronecker graph (Chakrabarti–Zhan–Faloutsos; the
+// Graph500 generator): n must be a power of two; each of `m` edge draws
+// descends log2(n) levels of the adjacency-matrix quadtree, picking the
+// quadrant with probabilities (a, b, c, 1-a-b-c) perturbed ±10% per level
+// (the standard noise that smooths the fractal staircase). Self-loops are
+// dropped and duplicate draws collapse in Graph::from_edges, so the
+// resulting edge count is <= m — substantially so under heavy skew, exactly
+// like the reference implementations. Edges are generated in draw order
+// from the seeded Rng only (deterministic; no container-order dependence).
+// Defaults are the Graph500 parameters a=0.57, b=0.19, c=0.19.
+[[nodiscard]] Graph rmat_graph(VertexId n, std::uint64_t m, util::Rng& rng,
+                               double a = 0.57, double b = 0.19,
+                               double c = 0.19);
+
 [[nodiscard]] Graph path_graph(VertexId n);
 [[nodiscard]] Graph cycle_graph(VertexId n);
 [[nodiscard]] Graph complete_graph(VertexId n);

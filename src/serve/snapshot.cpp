@@ -1,0 +1,26 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ultra::serve {
+
+void SnapshotStore::begin_epoch(std::uint64_t epoch) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  announced_epoch_ = std::max(announced_epoch_, epoch);
+}
+
+void SnapshotStore::publish(std::uint64_t epoch,
+                            std::shared_ptr<const FlatOracleIndex> index) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  index_ = std::move(index);
+  certified_epoch_ = epoch;
+  announced_epoch_ = std::max(announced_epoch_, epoch);
+}
+
+SnapshotStore::View SnapshotStore::acquire() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return View{index_, certified_epoch_, announced_epoch_};
+}
+
+}  // namespace ultra::serve

@@ -1,0 +1,74 @@
+// Certified-snapshot store: the bridge between overlay maintenance and the
+// serving path.
+//
+// The maintenance engine (src/maintain) republishes a FlatOracleIndex only
+// after certify_spanner accepts the repaired overlay; between the moment an
+// epoch's damage lands and the moment its repair re-certifies, serving
+// continues from the *previous* certified image — degraded-read mode. The
+// store makes that contract explicit:
+//
+//   * publish(epoch, index)  — atomically swap in a newly certified image;
+//   * begin_epoch(epoch)     — announce that epoch's churn+faults have been
+//                              applied (readers become stale until the next
+//                              publish);
+//   * acquire()              — grab a consistent View: the shared_ptr keeps
+//                              the image alive for the reader's lifetime even
+//                              if a publish lands mid-query, and the View
+//                              carries the staleness metadata (certified
+//                              epoch vs. latest announced epoch).
+//
+// One mutex guards the three words of metadata; queries never hold it — they
+// acquire once and then read the immutable index lock-free, exactly like
+// QueryEngine's single-index mode. Readers observe either the old or the new
+// image, never a mix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "serve/flat_index.h"
+
+namespace ultra::serve {
+
+class SnapshotStore {
+ public:
+  // A consistent read of the store. `index` is null only before the first
+  // publish; `stale()` says whether maintenance has announced an epoch newer
+  // than the one this image was certified at.
+  struct View {
+    std::shared_ptr<const FlatOracleIndex> index;
+    std::uint64_t certified_epoch = 0;
+    std::uint64_t announced_epoch = 0;
+    [[nodiscard]] bool stale() const noexcept {
+      return announced_epoch > certified_epoch;
+    }
+    [[nodiscard]] std::uint64_t staleness() const noexcept {
+      return announced_epoch - certified_epoch;
+    }
+  };
+
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  // Announce that epoch `epoch`'s mutations are being applied/repaired.
+  // Monotonic: announcing an older epoch than already announced is a no-op.
+  void begin_epoch(std::uint64_t epoch);
+
+  // Swap in the image certified at `epoch` (atomic from readers' point of
+  // view). Also advances the announced epoch to at least `epoch`, so a
+  // publish with no intervening begin_epoch yields a fresh (non-stale) view.
+  void publish(std::uint64_t epoch,
+               std::shared_ptr<const FlatOracleIndex> index);
+
+  [[nodiscard]] View acquire() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const FlatOracleIndex> index_;
+  std::uint64_t certified_epoch_ = 0;
+  std::uint64_t announced_epoch_ = 0;
+};
+
+}  // namespace ultra::serve

@@ -101,18 +101,21 @@ CrashInterval FaultPlan::crash_interval(VertexId v) const {
   return iv;
 }
 
-bool FaultPlan::link_down(VertexId u, VertexId v, std::uint64_t round) const {
-  if (rates_.link_down <= 0.0) return false;
+CrashInterval FaultPlan::link_interval(VertexId u, VertexId v) const {
+  if (rates_.link_down <= 0.0) return {};
   const VertexId lo = std::min(u, v);
   const VertexId hi = std::max(u, v);
   const std::uint64_t h = mix(seed_, kSaltLink, lo, hi);
-  if (unit(h) >= rates_.link_down) return false;
-  const std::uint64_t begin =
-      span_of(mix(seed_, kSaltLink, lo, hi, 1), rates_.link_down_window);
-  const std::uint64_t end =
-      begin + span_of(mix(seed_, kSaltLink, lo, hi, 2),
-                      rates_.max_link_down_rounds);
-  return begin <= round && round < end;
+  if (unit(h) >= rates_.link_down) return {};
+  CrashInterval iv;
+  iv.begin = span_of(mix(seed_, kSaltLink, lo, hi, 1), rates_.link_down_window);
+  iv.end = iv.begin + span_of(mix(seed_, kSaltLink, lo, hi, 2),
+                              rates_.max_link_down_rounds);
+  return iv;
+}
+
+bool FaultPlan::link_down(VertexId u, VertexId v, std::uint64_t round) const {
+  return link_interval(u, v).covers(round);
 }
 
 // --- Network's fault-path round machinery --------------------------------

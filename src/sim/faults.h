@@ -111,6 +111,13 @@ class FaultPlan {
   [[nodiscard]] bool link_down(VertexId u, VertexId v,
                                std::uint64_t round) const;
 
+  // The (single) outage interval of the undirected link {u, v}; !crashes()
+  // if the link never goes down. Reuses CrashInterval as a plain
+  // [begin, end) round window (links always come back, so end is finite).
+  // Overlay-maintenance callers read the whole window at once instead of
+  // probing link_down round by round.
+  [[nodiscard]] CrashInterval link_interval(VertexId u, VertexId v) const;
+
   // The same rates under a different seed — the supervisor's backoff ladder
   // re-runs a failing protocol under reseeded plans.
   [[nodiscard]] FaultPlan reseeded(std::uint64_t seed) const {

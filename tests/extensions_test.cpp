@@ -3,7 +3,11 @@
 // and the Thorup–Zwick-style distance oracle application.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
 
 #include "apps/distance_oracle.h"
 #include "baselines/baswana_sen_weighted.h"
@@ -178,6 +182,192 @@ TEST(DynamicSpanner, StretchBoundExactAfterChurn) {
 TEST(DynamicSpanner, EraseMissingEdgeThrows) {
   baselines::DynamicSpanner dyn(4, 2);
   EXPECT_THROW(dyn.erase(0, 1), std::invalid_argument);
+}
+
+namespace {
+
+// Canonical edge-key set of the current spanner, for before/after diffs.
+std::unordered_set<std::uint64_t> spanner_edge_keys(
+    const baselines::DynamicSpanner& dyn) {
+  std::unordered_set<std::uint64_t> keys;
+  const Graph s = dyn.spanner_snapshot();
+  for (const auto& e : s.edges()) keys.insert(graph::edge_key(e));
+  return keys;
+}
+
+}  // namespace
+
+// Brute-force check of the deletion report: every vertex whose spanner
+// adjacency actually changed must be listed in report.invalidated, the list
+// must be sorted and duplicate-free, and `promoted` must equal the number of
+// edges the repair added.
+TEST(DynamicSpanner, ErasedReportCoversAllChangedVertices) {
+  util::Rng rng(29);
+  const VertexId n = 80;
+  baselines::DynamicSpanner dyn(n, 2);
+  std::vector<graph::Edge> present;
+  const Graph g = graph::connected_gnm(n, 500, rng);
+  for (const auto& e : g.edges()) {
+    dyn.insert(e.u, e.v);
+    present.push_back(e);
+  }
+  std::size_t spanner_deletions = 0;
+  for (int step = 0; step < 120; ++step) {
+    const std::size_t i = rng.next_below(present.size());
+    const auto [u, v] = present[i];
+    present[i] = present.back();
+    present.pop_back();
+    const bool was_spanner = dyn.in_spanner(u, v);
+    const auto before = spanner_edge_keys(dyn);
+    const baselines::RepairReport report = dyn.erase_reported(u, v);
+    const auto after = spanner_edge_keys(dyn);
+
+    // Sorted, duplicate-free, in range.
+    EXPECT_TRUE(std::is_sorted(report.invalidated.begin(),
+                               report.invalidated.end()));
+    EXPECT_EQ(std::adjacent_find(report.invalidated.begin(),
+                                 report.invalidated.end()),
+              report.invalidated.end());
+    for (const VertexId w : report.invalidated) ASSERT_LT(w, n);
+
+    if (!was_spanner) {
+      // Deleting a discarded edge cannot perturb the spanner at all.
+      EXPECT_TRUE(report.invalidated.empty());
+      EXPECT_EQ(report.promoted, 0u);
+      EXPECT_EQ(before, after);
+      continue;
+    }
+    ++spanner_deletions;
+
+    // promoted == |after \ before| (the deleted edge is the only removal).
+    std::size_t added = 0;
+    for (const std::uint64_t key : after) {
+      if (!before.count(key)) ++added;
+    }
+    EXPECT_EQ(report.promoted, added);
+    // Every endpoint of the symmetric difference is in the invalidated set.
+    auto touched = [&](std::uint64_t key) {
+      const auto a = static_cast<VertexId>(key >> 32);
+      const auto b = static_cast<VertexId>(key & 0xffffffffu);
+      for (const VertexId w : {a, b}) {
+        EXPECT_TRUE(std::binary_search(report.invalidated.begin(),
+                                       report.invalidated.end(), w))
+            << "vertex " << w << " changed but was not reported";
+      }
+    };
+    for (const std::uint64_t key : after) {
+      if (!before.count(key)) touched(key);
+    }
+    for (const std::uint64_t key : before) {
+      if (!after.count(key)) touched(key);
+    }
+    // Both deleted endpoints are always invalidated (radius-0 ball members).
+    EXPECT_TRUE(std::binary_search(report.invalidated.begin(),
+                                   report.invalidated.end(), u));
+    EXPECT_TRUE(std::binary_search(report.invalidated.begin(),
+                                   report.invalidated.end(), v));
+    ASSERT_TRUE(dyn.invariant_holds()) << "step " << step;
+  }
+  // The churn must actually have exercised the repair path.
+  EXPECT_GT(spanner_deletions, 10u);
+}
+
+// drop_spanner_edge() models fault damage: the edge leaves the overlay but
+// stays in the graph, the invariant is intentionally broken, and a later
+// patch() over the returned region restores it. Crashed (unavailable)
+// vertices are skipped by the patch and their edges re-offered once they
+// return.
+TEST(DynamicSpanner, DropThenPatchRestoresInvariant) {
+  util::Rng rng(31);
+  const VertexId n = 60;
+  baselines::DynamicSpanner dyn(n, 3);
+  const Graph g = graph::connected_gnm(n, 360, rng);
+  for (const auto& e : g.edges()) dyn.insert(e.u, e.v);
+  ASSERT_TRUE(dyn.invariant_holds());
+
+  // Knock out a handful of spanner edges without repair.
+  std::vector<graph::Edge> dropped;
+  std::vector<VertexId> region;
+  for (const auto& e : g.edges()) {
+    if (dropped.size() == 5) break;
+    if (!dyn.in_spanner(e.u, e.v)) continue;
+    auto part = dyn.drop_spanner_edge(e.u, e.v);
+    region.insert(region.end(), part.begin(), part.end());
+    dropped.push_back(e);
+  }
+  ASSERT_EQ(dropped.size(), 5u);
+  for (const auto& e : dropped) {
+    EXPECT_TRUE(dyn.has_edge(e.u, e.v));     // still a graph edge
+    EXPECT_FALSE(dyn.in_spanner(e.u, e.v));  // gone from the overlay
+  }
+  EXPECT_FALSE(dyn.invariant_holds());  // damage is visible until patched
+
+  std::sort(region.begin(), region.end());
+  region.erase(std::unique(region.begin(), region.end()), region.end());
+
+  // Patch with one endpoint marked unavailable: no NEW promotion may touch
+  // the down vertex (pre-existing spanner edges at it are allowed to stay).
+  const VertexId down = dropped.front().u;
+  const std::vector<VertexId> down_neighbors_before(
+      dyn.spanner_neighbors(down).begin(), dyn.spanner_neighbors(down).end());
+  std::vector<bool> unavailable(n, false);
+  unavailable[down] = true;
+  dyn.patch(region, unavailable);
+  const auto down_neighbors_after = dyn.spanner_neighbors(down);
+  EXPECT_TRUE(std::equal(down_neighbors_before.begin(),
+                         down_neighbors_before.end(),
+                         down_neighbors_after.begin(),
+                         down_neighbors_after.end()));
+  // Once the vertex is back, a full patch restores the exact invariant.
+  dyn.patch(region);
+  EXPECT_TRUE(dyn.invariant_holds());
+}
+
+TEST(DynamicSpanner, DropNonSpannerEdgeThrows) {
+  baselines::DynamicSpanner dyn(4, 2);
+  dyn.insert(0, 1);
+  EXPECT_THROW((void)dyn.drop_spanner_edge(2, 3), std::invalid_argument);
+}
+
+// reseed_spanner() adopts the supervised base edges verbatim and sweeps the
+// rest back through the greedy filter: the result contains the base, is a
+// subgraph, and satisfies the exact 2k-1 invariant.
+TEST(DynamicSpanner, ReseedContainsBaseAndRestoresInvariant) {
+  util::Rng rng(37);
+  const VertexId n = 70;
+  baselines::DynamicSpanner dyn(n, 2);
+  const Graph g = graph::connected_gnm(n, 420, rng);
+  for (const auto& e : g.edges()) dyn.insert(e.u, e.v);
+
+  // Base: a BFS tree of the graph (always a valid sub-overlay skeleton),
+  // plus one edge that is NOT in the graph (must be ignored).
+  std::vector<graph::Edge> base;
+  {
+    const Graph snap = dyn.graph_snapshot();
+    const auto dist = graph::bfs_distances(snap, 0);
+    for (VertexId v = 1; v < n; ++v) {
+      for (const VertexId w : snap.neighbors(v)) {
+        if (dist[w] + 1 == dist[v]) {
+          base.push_back(graph::make_edge(v, w));
+          break;
+        }
+      }
+    }
+  }
+  graph::Edge ghost = graph::make_edge(0, 1);
+  while (dyn.has_edge(ghost.u, ghost.v)) ghost.v++;
+  base.push_back(ghost);
+
+  dyn.reseed_spanner(base);
+  for (const auto& e : base) {
+    if (e.u == ghost.u && e.v == ghost.v) {
+      EXPECT_FALSE(dyn.in_spanner(e.u, e.v));  // not a graph edge: ignored
+    } else {
+      EXPECT_TRUE(dyn.in_spanner(e.u, e.v)) << e.u << "-" << e.v;
+    }
+  }
+  EXPECT_TRUE(dyn.invariant_holds());
+  EXPECT_LE(dyn.spanner_size(), dyn.graph_size());
 }
 
 // ---------- weighted graphs & weighted Baswana–Sen -------------------------

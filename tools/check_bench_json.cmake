@@ -110,6 +110,73 @@ function(ultra_validate_record record context)
     return()
   endif()
 
+  # Overlay-maintenance records (micro_core --maintain): SLOs over an epoch
+  # loop of churn + fault damage + certified repair. The committed records
+  # must end every epoch certified (the robustness contract) and carry the
+  # deterministic epoch trace digest the bench smoke compares across
+  # execution modes.
+  if(schema STREQUAL "ultra.bench_maintain.v1")
+    foreach(key bench cpu_cores workload k epochs epoch_rounds churn faults
+                execution threads certified_uptime repair_p50_rounds
+                repair_p99_rounds clean_epochs patch_epochs escalations
+                all_certified published_snapshots final_spanner_edges
+                final_graph_edges trace_digest wall_seconds peak_rss_bytes)
+      string(JSON val ERROR_VARIABLE jerr GET "${record}" ${key})
+      if(jerr)
+        message(FATAL_ERROR
+          "${context}: missing required key '${key}': ${jerr}")
+      endif()
+    endforeach()
+    foreach(key generator n m seed)
+      string(JSON val ERROR_VARIABLE jerr GET "${record}" workload ${key})
+      if(jerr)
+        message(FATAL_ERROR
+          "${context}: missing required workload key '${key}': ${jerr}")
+      endif()
+    endforeach()
+    foreach(key crash_rate restart_rate link_rate drop_rate
+                dropped_spanner_edges escalation_dropped escalation_crashed
+                escalation_restarted)
+      string(JSON val ERROR_VARIABLE jerr GET "${record}" faults ${key})
+      if(jerr)
+        message(FATAL_ERROR
+          "${context}: missing required faults key '${key}': ${jerr}")
+      endif()
+    endforeach()
+    string(JSON gen GET "${record}" workload generator)
+    if(NOT gen STREQUAL "er" AND NOT gen STREQUAL "rmat")
+      message(FATAL_ERROR "${context}: unexpected generator '${gen}'")
+    endif()
+    string(JSON epochs GET "${record}" epochs)
+    if(epochs LESS 1)
+      message(FATAL_ERROR "${context}: degenerate record (epochs=${epochs})")
+    endif()
+    string(JSON uptime GET "${record}" certified_uptime)
+    if(uptime LESS 0 OR uptime GREATER 1)
+      message(FATAL_ERROR
+        "${context}: certified_uptime ${uptime} outside [0, 1]")
+    endif()
+    string(JSON all_cert GET "${record}" all_certified)
+    if(NOT all_cert EQUAL 1)
+      message(FATAL_ERROR
+        "${context}: all_certified=${all_cert} — a maintenance run must end "
+        "every epoch certified")
+    endif()
+    string(JSON p50 GET "${record}" repair_p50_rounds)
+    string(JSON p99 GET "${record}" repair_p99_rounds)
+    if(p50 GREATER p99)
+      message(FATAL_ERROR
+        "${context}: repair_p50_rounds ${p50} exceeds repair_p99_rounds "
+        "${p99}")
+    endif()
+    string(JSON execution GET "${record}" execution)
+    if(NOT execution STREQUAL "sequential" AND
+       NOT execution STREQUAL "parallel")
+      message(FATAL_ERROR "${context}: unexpected execution '${execution}'")
+    endif()
+    return()
+  endif()
+
   if(NOT schema STREQUAL "ultra.bench_sim.v2" AND
      NOT schema STREQUAL "ultra.bench_sim.v3")
     message(FATAL_ERROR "${context}: unexpected schema '${schema}'")
@@ -192,6 +259,16 @@ function(ultra_record_key record out_var)
     string(JSON mix_scan GET "${record}" mix scan)
     set(${out_var}
         "query/n${wl_n}/m${wl_m}/s${wl_seed}/o${wl_ops}/${dist}/th${theta}/mix${mix_point}-${mix_route}-${mix_scan}/t${threads}"
+        PARENT_SCOPE)
+    return()
+  endif()
+  if(schema STREQUAL "ultra.bench_maintain.v1")
+    string(JSON gen GET "${record}" workload generator)
+    string(JSON k GET "${record}" k)
+    string(JSON epochs GET "${record}" epochs)
+    string(JSON execution GET "${record}" execution)
+    set(${out_var}
+        "maintain/${gen}/n${wl_n}/m${wl_m}/s${wl_seed}/k${k}/e${epochs}/${execution}/t${threads}"
         PARENT_SCOPE)
     return()
   endif()
@@ -290,6 +367,53 @@ if(DEFINED BENCH_BIN)
       "bench-smoke: serve result_checksum differs across thread counts "
       "(1 thread: ${serve_checksum}, 4 threads: ${serve_checksum4}) — the "
       "checksum must be thread-count-invariant")
+  endif()
+
+  # The maintenance mode must emit a valid ultra.bench_maintain.v1 record
+  # with every epoch certified, and its chained epoch trace digest must be
+  # byte-identical between the sequential executor and 4 parallel workers —
+  # the determinism contract of src/maintain.
+  set(maintain_args --maintain --n 128 --m 384 --seed 5 --epochs 6
+      --faults "crash=0.01,restart=0.7,link=0.004,drop=0.01")
+  execute_process(
+    COMMAND ${BENCH_BIN} ${maintain_args}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+    TIMEOUT 120)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "bench-smoke: micro_core --maintain exited with ${rc}\nstderr: ${err}")
+  endif()
+  string(STRIP "${out}" record)
+  message(STATUS "bench-smoke maintain record: ${record}")
+  ultra_validate_record("${record}" "bench-smoke (maintain)")
+  string(JSON schema GET "${record}" schema)
+  if(NOT schema STREQUAL "ultra.bench_maintain.v1")
+    message(FATAL_ERROR
+      "bench-smoke: --maintain emits schema '${schema}', expected "
+      "ultra.bench_maintain.v1")
+  endif()
+  string(JSON maintain_digest GET "${record}" trace_digest)
+  execute_process(
+    COMMAND ${BENCH_BIN} ${maintain_args} --exec parallel --threads 4
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+    TIMEOUT 120)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "bench-smoke: micro_core --maintain --exec parallel exited with "
+      "${rc}\nstderr: ${err}")
+  endif()
+  string(STRIP "${out}" record)
+  ultra_validate_record("${record}" "bench-smoke (maintain, parallel)")
+  string(JSON maintain_digest4 GET "${record}" trace_digest)
+  if(NOT maintain_digest STREQUAL maintain_digest4)
+    message(FATAL_ERROR
+      "bench-smoke: maintain trace_digest differs across execution modes "
+      "(sequential: ${maintain_digest}, parallel/4: ${maintain_digest4}) — "
+      "the epoch trace must be execution-mode-invariant")
   endif()
   message(STATUS "bench-smoke: OK")
 endif()

@@ -25,6 +25,15 @@
 # stays off the large workload). Serve thread sweeps follow the same
 # single-core gating as the transport parallel sweep.
 #
+# Finally, the overlay-maintenance sweep (micro_core --maintain,
+# ultra.bench_maintain.v1): a seeded 50-epoch churn + crash/link-outage/drop
+# run over the connected-ER workload and over the R-MAT (Graph500) generator,
+# recording certified uptime, repair-latency percentiles, per-tier epoch
+# counts and the deterministic epoch trace digest. A parallel-executor row of
+# the same ER workload rides along (same single-core gating); its
+# trace_digest must equal the sequential row's — the bench smoke enforces the
+# equality on every ctest run.
+#
 # Usage: tools/run_bench.sh [--force-parallel] [output-path]
 #                           (default output: BENCH_sim.json)
 set -euo pipefail
@@ -108,6 +117,25 @@ fi
   [ "$first" -eq 1 ] && first=0 || echo ","
   "$BIN" --serve --n 10000 --m 100000 --seed 1 --ops 200000 \
          --mix 60,20,20 --dist zipfian --theta 0.99 --threads 1 | tr -d '\n'
+  # Overlay-maintenance sweep: 50 epochs of churn + crash/link-outage/drop
+  # faults, certified repair every epoch. ER and R-MAT workloads sequential;
+  # a parallel-executor ER row follows the single-core gate (the epoch trace
+  # digest is execution-mode-invariant, so the row adds a committed witness
+  # of the equality the bench smoke enforces).
+  MAINTAIN_FAULTS="crash=0.004,restart=0.7,link=0.002,drop=0.01"
+  [ "$first" -eq 1 ] && first=0 || echo ","
+  "$BIN" --maintain --gen er --n 512 --m 2048 --seed 1 --epochs 50 \
+         --faults "$MAINTAIN_FAULTS" | tr -d '\n'
+  [ "$first" -eq 1 ] && first=0 || echo ","
+  "$BIN" --maintain --gen rmat --n 512 --m 4096 --seed 3 --epochs 50 \
+         --faults "$MAINTAIN_FAULTS" | tr -d '\n'
+  if [ "$CORES" -gt 1 ] || [ "$FORCE_PARALLEL" -eq 1 ]; then
+    [ "$first" -eq 1 ] && first=0 || echo ","
+    "$BIN" --maintain --gen er --n 512 --m 2048 --seed 1 --epochs 50 \
+           --faults "$MAINTAIN_FAULTS" --exec parallel --threads 4 | tr -d '\n'
+  else
+    NOTES+=("{\"schema\": \"ultra.bench_note.v1\", \"note\": \"SKIPPED (1 core)\", \"skipped\": \"maintain_parallel_row\", \"cpu_cores\": $CORES}")
+  fi
   for note in ${NOTES[@]+"${NOTES[@]}"} ${NOTES2[@]+"${NOTES2[@]}"}; do
     [ "$first" -eq 1 ] && first=0 || echo ","
     printf '%s' "$note"
